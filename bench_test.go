@@ -1,0 +1,356 @@
+// Package snapdb's root benchmark harness: one benchmark per paper
+// table/figure (regenerating the experiment and reporting its headline
+// metric via b.ReportMetric) plus the design-choice ablations listed in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use the experiments' quick configurations so the full
+// harness completes in about a minute; cmd/experiments (without -quick)
+// runs the paper-scale parameters.
+package snapdb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"snapdb/internal/attacks/bitleak"
+	"snapdb/internal/crypto/prim"
+	"snapdb/internal/edb/seabedx"
+	"snapdb/internal/engine"
+	"snapdb/internal/experiments"
+	"snapdb/internal/snapshot"
+	"snapdb/internal/sqlparse"
+	"snapdb/internal/storage"
+	"snapdb/internal/wal"
+	"snapdb/internal/workload"
+)
+
+func BenchmarkE1Figure1Matrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E1Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(res.Rows)), "attacks")
+		}
+	}
+}
+
+func BenchmarkE2LogRetention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E2LogRetention(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.UpdateRedoDays, "days-retained")
+		}
+	}
+}
+
+func BenchmarkE3BinlogCorrelation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E3BinlogCorrelation(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.MeanAbsErrSec, "mean-dating-err-s")
+		}
+	}
+}
+
+func BenchmarkE4HeapResidue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E4HeapResidue(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.FullTextHits), "fulltext-hits")
+		}
+	}
+}
+
+func BenchmarkE5LewiWuLeakage(b *testing.B) {
+	for _, queries := range []int{5, 25, 50} {
+		b.Run(fmt.Sprintf("queries=%d", queries), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bitleak.Simulate(bitleak.Config{
+					DBSize: 10000, NumQueries: queries, Trials: 10, BlockBits: 1, Seed: int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(100*res.FractionLeaked, "%bits-leaked")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE6CountAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E6CountAttack(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*res.RecoveryRate, "%keywords-recovered")
+			b.ReportMetric(100*res.UniqueCountFrac, "%unique-counts")
+		}
+	}
+}
+
+func BenchmarkE7SeabedFrequency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E7Seabed(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*res.WeightedRecovery, "%weighted-recovery")
+		}
+	}
+}
+
+func BenchmarkE8ArxTranscript(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E8Arx(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*res.ValueRecovery, "%values-recovered")
+		}
+	}
+}
+
+func BenchmarkE9AtRest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E9AtRest()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.DecryptedWrites), "writes-decrypted")
+		}
+	}
+}
+
+func BenchmarkE10DiagnosticTables(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E10Diagnostics(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.HistoryRecovered), "stmts-recovered")
+		}
+	}
+}
+
+func BenchmarkE11Mitigations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E11Mitigations(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.ClosedBy), "channels-closed")
+			b.ReportMetric(float64(res.Inherent), "channels-inherent")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md) ---
+
+// BenchmarkAblationLewiWuBlockSize sweeps the ORE block size: only
+// 1-bit blocks let token comparisons determine plaintext bits outright.
+func BenchmarkAblationLewiWuBlockSize(b *testing.B) {
+	for _, bits := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("block=%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bitleak.Simulate(bitleak.Config{
+					DBSize: 2000, NumQueries: 25, Trials: 10, BlockBits: bits, Seed: int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(100*res.FractionLeaked, "%bits-determined")
+					b.ReportMetric(100*res.FractionTouched, "%bits-constrained")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHistorySize sweeps events_statements_history depth:
+// how many of a victim's recent statements a SQLi attacker recovers.
+func BenchmarkAblationHistorySize(b *testing.B) {
+	for _, size := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("history=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := engine.Defaults()
+				cfg.HistoryPerThread = size
+				e, err := engine.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := e.Connect("victim")
+				if _, err := s.Execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+					b.Fatal(err)
+				}
+				const issued = 50
+				for q := 0; q < issued; q++ {
+					if _, err := s.Execute(fmt.Sprintf("SELECT v FROM t WHERE id = %d", q)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				snap := snapshot.Capture(e, snapshot.SQLInjection)
+				if i == 0 {
+					b.ReportMetric(float64(len(snap.Diagnostics.History)), "stmts-recovered")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBufferPoolSize sweeps pool capacity: the dump file
+// covers a larger fraction of recent access paths as the pool grows.
+func BenchmarkAblationBufferPoolSize(b *testing.B) {
+	for _, pages := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("pages=%d", pages), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := engine.Defaults()
+				cfg.BufferPoolPages = pages
+				e, err := engine.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := e.Connect("app")
+				if _, err := s.Execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"); err != nil {
+					b.Fatal(err)
+				}
+				for r := 0; r < 2000; r++ {
+					if _, err := s.Execute(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, 'row-payload-%04d')", r, r)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for q := 0; q < 200; q++ {
+					if _, err := s.Execute(fmt.Sprintf("SELECT v FROM t WHERE id = %d", (q*37)%2000)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				dump := e.Shutdown()
+				if i == 0 {
+					b.ReportMetric(float64(len(dump)/4), "pages-in-dump")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSPLASHEVariant contrasts basic vs enhanced SPLASHE:
+// basic needs one ASHE column per domain value; enhanced trades the
+// long tail for a DET column — smaller schema, but the tail becomes
+// frequency-analyzable (E7 measures the recovery).
+func BenchmarkAblationSPLASHEVariant(b *testing.B) {
+	domain := workload.States // 20 values
+	frequent := workload.States[:5]
+	for _, enhanced := range []bool{false, true} {
+		name := "basic"
+		vals := domain
+		if enhanced {
+			name = "enhanced"
+			vals = frequent
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := engine.New(engine.Defaults())
+				if err != nil {
+					b.Fatal(err)
+				}
+				tbl, err := seabedx.NewTable(e, prim.TestKey("ablation"), "facts", "state", vals, enhanced)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows, err := workload.ZipfQueryStream(domain, 200, 1.3, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, v := range rows {
+					if err := tbl.Insert(v); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if i == 0 {
+					b.ReportMetric(float64(tbl.Plan().NumColumns()), "ciphertext-columns")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWALGranularity contrasts column-level change records
+// (what the engine logs, and what InnoDB-style engines log) against
+// whole-row logging: coarser records burn log capacity faster, so the
+// forensic retention window shrinks — but every retained record then
+// carries the full row.
+func BenchmarkAblationWALGranularity(b *testing.B) {
+	wideRow := storage.Record{
+		sqlparse.IntValue(1),
+		sqlparse.StrValue(strings.Repeat("a", 20)),
+		sqlparse.StrValue(strings.Repeat("b", 40)),
+		sqlparse.StrValue(strings.Repeat("c", 80)),
+	}
+	for _, mode := range []string{"column-diff", "whole-row"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := wal.NewManager(1<<20, 1<<20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for m.Redo.Evicted() < 500 {
+					if mode == "column-diff" {
+						// One changed 20-byte column.
+						m.LogUpdate(1, storage.Record{wideRow[0]}, 1,
+							storage.Record{wideRow[1]}, storage.Record{wideRow[1]})
+					} else {
+						// Whole-row image per update.
+						m.LogUpdate(1, storage.Record{wideRow[0]}, wal.WholeRow,
+							wideRow, wideRow)
+					}
+				}
+				if i == 0 {
+					b.ReportMetric(float64(m.Redo.Len()), "writes-retained-per-MB")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorkloadThroughput is the substrate sanity benchmark: raw
+// engine statement throughput with all artifacts enabled.
+func BenchmarkWorkloadThroughput(b *testing.B) {
+	e, err := engine.New(engine.Defaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := e.Connect("bench")
+	if _, err := s.Execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Execute(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, 'payload')", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

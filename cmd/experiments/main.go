@@ -1,0 +1,68 @@
+// Command experiments regenerates every table and figure from the
+// paper's demonstrations.
+//
+// Usage:
+//
+//	experiments [-quick] [-run E5]
+//
+// Without -run it executes the full suite E1..E11 plus the ablations.
+// -quick shrinks workloads (fewer trials, smaller corpora) so the whole
+// suite finishes in well under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"snapdb/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced workloads (fewer trials, smaller corpora)")
+	run := flag.String("run", "", "run a single experiment by id (E1..E11, E5-ablation)")
+	flag.Parse()
+
+	if err := realMain(*quick, *run); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(quick bool, run string) error {
+	type runner struct {
+		id string
+		fn func(bool) (experiments.Result, error)
+	}
+	runners := []runner{
+		{"E1", func(bool) (experiments.Result, error) { return experiments.E1Figure1() }},
+		{"E2", func(q bool) (experiments.Result, error) { return experiments.E2LogRetention(q) }},
+		{"E3", func(q bool) (experiments.Result, error) { return experiments.E3BinlogCorrelation(q) }},
+		{"E4", func(q bool) (experiments.Result, error) { return experiments.E4HeapResidue(q) }},
+		{"E5", func(q bool) (experiments.Result, error) { return experiments.E5LewiWu(q) }},
+		{"E5-ablation", func(q bool) (experiments.Result, error) { return experiments.E5BlockSizeAblation(q) }},
+		{"E6", func(q bool) (experiments.Result, error) { return experiments.E6CountAttack(q) }},
+		{"E7", func(q bool) (experiments.Result, error) { return experiments.E7Seabed(q) }},
+		{"E8", func(q bool) (experiments.Result, error) { return experiments.E8Arx(q) }},
+		{"E9", func(bool) (experiments.Result, error) { return experiments.E9AtRest() }},
+		{"E10", func(q bool) (experiments.Result, error) { return experiments.E10Diagnostics(q) }},
+		{"E11", func(q bool) (experiments.Result, error) { return experiments.E11Mitigations(q) }},
+	}
+	matched := false
+	for _, r := range runners {
+		if run != "" && !strings.EqualFold(run, r.id) {
+			continue
+		}
+		matched = true
+		res, err := r.fn(quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.id, err)
+		}
+		fmt.Println(res.Render())
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q (want E1..E11 or E5-ablation)", run)
+	}
+	return nil
+}

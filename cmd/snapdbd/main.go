@@ -1,0 +1,50 @@
+// Command snapdbd runs the snapdb engine as a TCP server.
+//
+// Usage:
+//
+//	snapdbd [-addr 127.0.0.1:7001] [-harden]
+//
+// Clients speak the line protocol of internal/server; the simplest
+// client is:
+//
+//	printf "CREATE TABLE t (id INT PRIMARY KEY)\n" | nc 127.0.0.1 7001
+//
+// -harden applies the mitigate package's hardened configuration
+// (secure heap deletion, no performance_schema, scrubbed processlist,
+// no query cache or query logs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"snapdb/internal/engine"
+	"snapdb/internal/mitigate"
+	"snapdb/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
+	harden := flag.Bool("harden", false, "apply the hardened configuration")
+	flag.Parse()
+
+	cfg := engine.Defaults()
+	if *harden {
+		cfg = mitigate.Harden(cfg, true)
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		log.Fatalf("snapdbd: %v", err)
+	}
+	srv := server.New(e)
+	ready := make(chan net.Addr, 1)
+	go func() {
+		a := <-ready
+		fmt.Printf("snapdbd listening on %s (harden=%v)\n", a, *harden)
+	}()
+	if err := srv.ListenAndServe(*addr, ready); err != nil {
+		log.Fatalf("snapdbd: %v", err)
+	}
+}

@@ -1,0 +1,101 @@
+// SQL injection against a Seabed-style encrypted analytics store: the
+// injected queries never touch the encrypted data, only the diagnostic
+// tables — and the digest table hands the attacker the exact histogram
+// of queries per plaintext value, which frequency analysis converts
+// into the SPLASHE column mapping (§4 and §6 of the paper).
+//
+//	go run ./examples/sql_injection
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"snapdb/internal/attacks/freq"
+	"snapdb/internal/crypto/prim"
+	"snapdb/internal/edb/seabedx"
+	"snapdb/internal/engine"
+	"snapdb/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	e, err := engine.New(engine.Defaults())
+	if err != nil {
+		return err
+	}
+	domain := workload.States[:8]
+	tbl, err := seabedx.NewTable(e, prim.TestKey("sqli-demo"), "facts", "state", domain, false)
+	if err != nil {
+		return err
+	}
+	rows, err := workload.ZipfQueryStream(domain, 300, 1.3, 5)
+	if err != nil {
+		return err
+	}
+	for _, v := range rows {
+		if err := tbl.Insert(v); err != nil {
+			return err
+		}
+	}
+	// The analysts' workload: count queries whose popularity follows
+	// the states' Zipf popularity.
+	stream, err := workload.ZipfQueryStream(domain, 5000, 1.4, 6)
+	if err != nil {
+		return err
+	}
+	for _, v := range stream {
+		if _, err := tbl.CountWhere(v); err != nil {
+			return err
+		}
+	}
+
+	// --- The attack: one injected SELECT on the digest table. ---
+	attacker := e.Connect("injected")
+	res, err := attacker.Execute("SELECT * FROM performance_schema.events_statements_summary_by_digest")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("injected SELECT returned %d digest rows; per-column query counts:\n", len(res.Rows))
+	observed := make(map[string]int)
+	truth := make(map[string]string)
+	for i := range domain {
+		idx, _ := tbl.Plan().ColumnFor(domain[i])
+		truth[tbl.Plan().ColumnName(idx)] = domain[i]
+	}
+	for _, row := range res.Rows {
+		digestText, count := row[1].Str, int(row[2].Int)
+		for col := range truth {
+			if strings.Contains(digestText, "SUM("+col+")") {
+				observed[col] += count
+				fmt.Printf("  %-12s queried %4d times\n", col, count)
+			}
+		}
+	}
+
+	// Frequency analysis: rank-match the histogram against the public
+	// popularity model.
+	model := make(map[string]float64, len(domain))
+	for i, v := range domain {
+		model[v] = 1.0 / float64(i+1)
+	}
+	assign := freq.RankMatch(observed, model)
+	correct := 0
+	fmt.Println("\nfrequency analysis (rank matching, the Lacharité-Paterson MLE):")
+	for col, plaintext := range assign {
+		ok := truth[col] == plaintext
+		if ok {
+			correct++
+		}
+		fmt.Printf("  %-12s -> %-4s (%v)\n", col, plaintext, ok)
+	}
+	fmt.Printf("\nrecovered %d/%d SPLASHE column identities without touching a ciphertext\n",
+		correct, len(assign))
+	return nil
+}

@@ -1,0 +1,121 @@
+// VM snapshot leak against a CryptDB-style searchable-encryption
+// deployment: the leaked memory image contains past search statements —
+// including the search tokens — and replaying a single stolen token
+// against the index breaks semantic security; the count attack then
+// names the keyword (§5 and §6 of the paper).
+//
+//	go run ./examples/vm_snapshot
+package main
+
+import (
+	"encoding/hex"
+	"fmt"
+	"log"
+	"regexp"
+
+	"snapdb/internal/attacks/leakabuse"
+	"snapdb/internal/crypto/prim"
+	"snapdb/internal/crypto/sse"
+	"snapdb/internal/edb/cryptdbx"
+	"snapdb/internal/engine"
+	"snapdb/internal/forensics"
+	"snapdb/internal/snapshot"
+	"snapdb/internal/sqlparse"
+	"snapdb/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	e, err := engine.New(engine.Defaults())
+	if err != nil {
+		return err
+	}
+	proxy := cryptdbx.New(e, prim.TestKey("vm-demo"))
+	specs := []cryptdbx.ColumnSpec{
+		{Name: "id", Type: sqlparse.TypeInt, Mode: cryptdbx.OPE},
+		{Name: "body", Type: sqlparse.TypeText, Mode: cryptdbx.SEARCH},
+	}
+	if err := proxy.CreateTable("mail", specs); err != nil {
+		return err
+	}
+	// A small mail corpus with Zipf keyword frequencies.
+	corpus, err := workload.NewCorpus(workload.CorpusConfig{
+		NumDocs: 400, VocabSize: 150, WordsPerDoc: 10, ZipfS: 1.2, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+	for id, doc := range corpus.Docs {
+		body := ""
+		for i, w := range doc {
+			if i > 0 {
+				body += " "
+			}
+			body += w
+		}
+		row := []sqlparse.Value{sqlparse.IntValue(int64(id)), sqlparse.StrValue(body)}
+		if err := proxy.Insert("mail", row); err != nil {
+			return err
+		}
+	}
+	// The user searches for a few frequent keywords.
+	searched := []string{}
+	for _, wc := range corpus.TopWords(5) {
+		searched = append(searched, wc.Word)
+		if _, err := proxy.Search("mail", "body", wc.Word); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("user searched for %d keywords through the encrypted proxy\n", len(searched))
+
+	// --- The attack: the hypervisor leaks a full-state VM image. ---
+	snap := snapshot.Capture(e, snapshot.VMSnapshotLeak)
+
+	// 1. Scrape the heap for search statements and their tokens.
+	tokenRe := regexp.MustCompile(`search_match\(body, '([0-9a-f]{64})'\)`)
+	seen := map[string]bool{}
+	var stolen []sse.Token
+	for _, s := range forensics.ExtractStrings(snap.Memory.HeapImage, 16) {
+		for _, m := range tokenRe.FindAllStringSubmatch(s, -1) {
+			if seen[m[1]] {
+				continue
+			}
+			seen[m[1]] = true
+			raw, err := hex.DecodeString(m[1])
+			if err != nil || len(raw) != len(sse.Token{}) {
+				continue
+			}
+			var tok sse.Token
+			copy(tok[:], raw)
+			stolen = append(stolen, tok)
+		}
+	}
+	fmt.Printf("heap scrape recovered %d distinct search tokens\n", len(stolen))
+
+	// 2. Replay tokens against the index (which the attacker also has)
+	// and run the count attack with public corpus statistics.
+	ix, err := proxy.SSEIndex("mail", "body")
+	if err != nil {
+		return err
+	}
+	aux := make(map[string]int)
+	for _, w := range corpus.Vocabulary {
+		if c := corpus.Count(w); c > 0 {
+			aux[w] = c
+		}
+	}
+	obs := leakabuse.Observe(ix, stolen)
+	recs := leakabuse.CountAttack(obs, aux)
+	fmt.Printf("count attack identified %d of %d tokens:\n", len(recs), len(obs))
+	for _, r := range recs {
+		fmt.Printf("  token #%d = keyword %q, exposing %d documents\n", r.TokenID, r.Keyword, len(r.Docs))
+	}
+	fmt.Println("\nsemantic security of the searchable encryption is gone: the snapshot")
+	fmt.Println("attacker knows which encrypted mails contain which searched keyword.")
+	return nil
+}

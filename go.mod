@@ -1,0 +1,3 @@
+module snapdb
+
+go 1.22

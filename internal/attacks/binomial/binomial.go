@@ -1,0 +1,131 @@
+// Package binomial implements the rank-based ("binomial") attack of
+// Grubbs et al. (S&P'17) against order-revealing encryption whose
+// ciphertexts can all be pairwise compared — Seabed's deterministic
+// ORE, and the component the paper combines with token bit leakage
+// against Lewi-Wu.
+//
+// The attacker sorts the n ciphertexts (the ORE comparisons give the
+// total order and equalities for free) and estimates the plaintext at
+// rank r as the r-th n-quantile of the auxiliary plaintext
+// distribution. For uniform data this recovers roughly log2(n) high
+// bits of every value; the package also provides the bipartite-graph
+// variant that reconciles the quantile estimates with bit constraints
+// via minimum-cost matching.
+package binomial
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"snapdb/internal/attacks/matching"
+)
+
+// QuantileModel is the attacker's auxiliary model: the inverse CDF of
+// the plaintext distribution. p is in (0, 1).
+type QuantileModel func(p float64) uint32
+
+// Uniform32 is the inverse CDF of uniform 32-bit integers.
+func Uniform32(p float64) uint32 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1<<32 - 1
+	}
+	return uint32(p * (1 << 32))
+}
+
+// RecoverByRank sorts the ciphertext order (given as the observed
+// plaintext-rank permutation, which ORE comparisons reveal without the
+// key) and estimates each ciphertext's plaintext by quantile. The input
+// is the ciphertexts' true plaintexts — used ONLY to derive the order
+// that comparisons would reveal; the estimates never touch the values
+// directly.
+func RecoverByRank(plaintexts []uint32, model QuantileModel) ([]uint32, error) {
+	n := len(plaintexts)
+	if n == 0 {
+		return nil, fmt.Errorf("binomial: no ciphertexts")
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// This sort is exactly what the attacker computes with pairwise ORE
+	// comparisons.
+	sort.SliceStable(order, func(a, b int) bool { return plaintexts[order[a]] < plaintexts[order[b]] })
+	est := make([]uint32, n)
+	for rank, idx := range order {
+		est[idx] = model((float64(rank) + 0.5) / float64(n))
+	}
+	return est, nil
+}
+
+// CorrectHighBits returns how many leading bits of estimate match the
+// truth.
+func CorrectHighBits(truth, estimate uint32) int {
+	return bits.LeadingZeros32(truth ^ estimate)
+}
+
+// MeanCorrectHighBits averages CorrectHighBits over a recovery.
+func MeanCorrectHighBits(truth, estimate []uint32) (float64, error) {
+	if len(truth) != len(estimate) || len(truth) == 0 {
+		return 0, fmt.Errorf("binomial: length mismatch %d vs %d", len(truth), len(estimate))
+	}
+	total := 0
+	for i := range truth {
+		total += CorrectHighBits(truth[i], estimate[i])
+	}
+	return float64(total) / float64(len(truth)), nil
+}
+
+// BitConstraint records externally known bits of one ciphertext's
+// plaintext (e.g. from Lewi-Wu token leakage): for each set bit in
+// Mask, the plaintext bit equals the corresponding bit of Value.
+type BitConstraint struct {
+	Mask  uint32
+	Value uint32
+}
+
+// Consistent reports whether candidate satisfies the constraint.
+func (c BitConstraint) Consistent(candidate uint32) bool {
+	return candidate&c.Mask == c.Value&c.Mask
+}
+
+// MatchWithConstraints runs the bipartite-matching variant: each
+// ciphertext (with its rank estimate and bit constraints) is matched to
+// one of the candidate plaintexts, with infinite cost for
+// bit-inconsistent pairs and |estimate − candidate| cost otherwise.
+// It returns the assigned candidate per ciphertext.
+func MatchWithConstraints(estimates []uint32, constraints []BitConstraint, candidates []uint32) ([]uint32, error) {
+	n := len(estimates)
+	if n == 0 || len(constraints) != n || len(candidates) != n {
+		return nil, fmt.Errorf("binomial: need equal-length estimates/constraints/candidates, got %d/%d/%d",
+			len(estimates), len(constraints), len(candidates))
+	}
+	const inconsistent = 1e18
+	cost := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		cost[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if !constraints[i].Consistent(candidates[j]) {
+				cost[i][j] = inconsistent
+				continue
+			}
+			d := float64(estimates[i]) - float64(candidates[j])
+			if d < 0 {
+				d = -d
+			}
+			cost[i][j] = d
+		}
+	}
+	assign, err := matching.Hungarian(cost)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, n)
+	for i, j := range assign {
+		out[i] = candidates[j]
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package binomial
+
+import (
+	"math"
+	"testing"
+
+	"snapdb/internal/workload"
+)
+
+func TestRecoverByRankUniform(t *testing.T) {
+	pts := workload.UniformInts(4096, 1)
+	est, err := RecoverByRank(pts, Uniform32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := MeanCorrectHighBits(pts, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With n = 4096 uniform samples, rank quantiles pin roughly
+	// log2(n)/2..log2(n) high bits on average; anything below 6 means
+	// the attack is broken, anything above 13 is implausible.
+	if mean < 6 || mean > 13 {
+		t.Errorf("mean correct high bits = %.2f, want in [6, 13]", mean)
+	}
+}
+
+func TestRecoverByRankGrowsWithN(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{64, 1024, 16384} {
+		pts := workload.UniformInts(n, 2)
+		est, err := RecoverByRank(pts, Uniform32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, err := MeanCorrectHighBits(pts, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mean <= prev {
+			t.Errorf("n=%d mean bits %.2f did not grow (prev %.2f)", n, mean, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestRecoverByRankEmpty(t *testing.T) {
+	if _, err := RecoverByRank(nil, Uniform32); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestUniform32Bounds(t *testing.T) {
+	if Uniform32(0) != 0 || Uniform32(-1) != 0 {
+		t.Error("lower bound wrong")
+	}
+	if Uniform32(1) != 1<<32-1 || Uniform32(2) != 1<<32-1 {
+		t.Error("upper bound wrong")
+	}
+	if Uniform32(0.5) != 1<<31 {
+		t.Errorf("median = %d", Uniform32(0.5))
+	}
+}
+
+func TestCorrectHighBits(t *testing.T) {
+	if got := CorrectHighBits(0xFFFFFFFF, 0xFFFFFFFF); got != 32 {
+		t.Errorf("exact match = %d bits", got)
+	}
+	if got := CorrectHighBits(0x80000000, 0x00000000); got != 0 {
+		t.Errorf("top-bit mismatch = %d bits", got)
+	}
+	if got := CorrectHighBits(0xF0000000, 0xF8000000); got != 4 {
+		t.Errorf("4-bit prefix = %d bits", got)
+	}
+}
+
+func TestMeanCorrectHighBitsValidation(t *testing.T) {
+	if _, err := MeanCorrectHighBits([]uint32{1}, []uint32{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MeanCorrectHighBits(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestBitConstraintConsistency(t *testing.T) {
+	c := BitConstraint{Mask: 0xF0000000, Value: 0xA0000000}
+	if !c.Consistent(0xABCDEF01) {
+		t.Error("consistent candidate rejected")
+	}
+	if c.Consistent(0xBBCDEF01) {
+		t.Error("inconsistent candidate accepted")
+	}
+	if !(BitConstraint{}).Consistent(12345) {
+		t.Error("empty constraint must accept everything")
+	}
+}
+
+func TestMatchWithConstraintsExactRecovery(t *testing.T) {
+	// Candidates are the true plaintexts; constraints pin the top 8
+	// bits of each (as Lewi-Wu token leakage would); estimates are
+	// noisy. Matching must recover the truth when top bytes are
+	// distinct.
+	truth := []uint32{0x10AAAAAA, 0x20BBBBBB, 0x30CCCCCC, 0x40DDDDDD}
+	constraints := make([]BitConstraint, len(truth))
+	estimates := make([]uint32, len(truth))
+	for i, v := range truth {
+		constraints[i] = BitConstraint{Mask: 0xFF000000, Value: v}
+		estimates[i] = v + 0x00123456 // noisy estimate, same top byte
+	}
+	// Shuffled candidate order.
+	candidates := []uint32{truth[2], truth[0], truth[3], truth[1]}
+	got, err := MatchWithConstraints(estimates, constraints, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if got[i] != truth[i] {
+			t.Errorf("ciphertext %d assigned %#x, want %#x", i, got[i], truth[i])
+		}
+	}
+}
+
+func TestMatchWithConstraintsValidation(t *testing.T) {
+	if _, err := MatchWithConstraints(nil, nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := MatchWithConstraints([]uint32{1}, []BitConstraint{{}}, []uint32{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestMatchBeatsQuantileAloneUnderConstraints(t *testing.T) {
+	pts := workload.UniformInts(64, 7)
+	est, err := RecoverByRank(pts, Uniform32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantileOnly, _ := MeanCorrectHighBits(pts, est)
+	constraints := make([]BitConstraint, len(pts))
+	for i, v := range pts {
+		constraints[i] = BitConstraint{Mask: 0xFFFF0000, Value: v} // 16 known bits
+	}
+	matched, err := MatchWithConstraints(est, constraints, append([]uint32(nil), pts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withConstraints, _ := MeanCorrectHighBits(pts, matched)
+	if withConstraints <= quantileOnly {
+		t.Errorf("constraints did not help: %.2f <= %.2f", withConstraints, quantileOnly)
+	}
+	if math.IsNaN(withConstraints) {
+		t.Fatal("NaN score")
+	}
+}

@@ -1,0 +1,210 @@
+// Package bitleak implements the paper's §6 Lewi-Wu simulation: given
+// query tokens recovered from a snapshot, how many plaintext bits of
+// the database do their comparison results determine?
+//
+// Every (token q, ciphertext x) comparison leaks the index i of the
+// first differing block plus the order of x_i vs q_i. With block size
+// 1 the leakage per comparison is:
+//
+//   - bits 0..i-1 of x equal bits 0..i-1 of q   (relative knowledge)
+//   - bit i of x and bit i of q are both determined absolutely
+//     (they differ, and the order says which is the 1)
+//
+// The attacker propagates this through a union-find over (entity, bit)
+// nodes: a database bit counts as recovered once its equivalence class
+// contains an absolutely-determined bit. The paper reports the average
+// fraction of the database's bits recovered this way: ≈12% for 5
+// uniform range queries over 10,000 uniform 32-bit values, ≈19% for
+// 25, ≈25% for 50, averaged over 1,000 trials.
+//
+// The simulation uses ore.Scheme.FirstDiffBlock, the analytic form of
+// what ore.Scheme.Compare leaks; their equivalence is enforced by
+// property tests in the ore package (and spot-checked here through the
+// real Compare path when cfg.UseRealORE is set).
+package bitleak
+
+import (
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+
+	"snapdb/internal/crypto/ore"
+	"snapdb/internal/crypto/prim"
+	"snapdb/internal/workload"
+)
+
+// Config parameterizes one simulation.
+type Config struct {
+	DBSize     int   // database values (paper: 10000)
+	NumQueries int   // range queries; each contributes 2 endpoint tokens (paper: 5/25/50)
+	Trials     int   // paper: 1000
+	BlockBits  int   // ORE block size (paper: 1)
+	Seed       int64 // workload seed
+	UseRealORE bool  // run comparisons through ore.Compare (slow; small configs only)
+}
+
+// Result aggregates a simulation.
+type Result struct {
+	Config            Config
+	FractionLeaked    float64 // mean fraction of DB bits absolutely determined
+	BitsPerValue      float64 // mean determined bits per 32-bit value
+	FractionTouched   float64 // mean fraction of DB bits with any constraint (ablation metric)
+	TotalBitsPerTrial int
+}
+
+// dsu is a union-find with a per-root "contains an absolutely known
+// bit" flag.
+type dsu struct {
+	parent []int32
+	rank   []int8
+	known  []bool
+}
+
+func newDSU(n int) *dsu {
+	d := &dsu{parent: make([]int32, n), rank: make([]int8, n), known: make([]bool, n)}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	return d
+}
+
+func (d *dsu) reset() {
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.rank[i] = 0
+		d.known[i] = false
+	}
+}
+
+func (d *dsu) find(x int32) int32 {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]] // path halving
+		x = d.parent[x]
+	}
+	return x
+}
+
+func (d *dsu) union(a, b int32) {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.known[ra] = d.known[ra] || d.known[rb]
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+}
+
+func (d *dsu) markKnown(x int32) { d.known[d.find(x)] = true }
+
+// Simulate runs the experiment and returns aggregate leakage.
+func Simulate(cfg Config) (Result, error) {
+	if cfg.DBSize <= 0 || cfg.NumQueries <= 0 || cfg.Trials <= 0 {
+		return Result{}, fmt.Errorf("bitleak: dimensions must be positive: %+v", cfg)
+	}
+	if cfg.BlockBits <= 0 {
+		cfg.BlockBits = 1
+	}
+	scheme, err := ore.New(prim.TestKey("bitleak"), cfg.BlockBits)
+	if err != nil {
+		return Result{}, err
+	}
+	nb := scheme.NumBlocks()
+	d := cfg.BlockBits
+	numEndpoints := 2 * cfg.NumQueries
+	entities := cfg.DBSize + numEndpoints
+	nodes := entities * nb
+	uf := newDSU(nodes)
+	totalBits := cfg.DBSize * ore.PlainBits
+
+	node := func(entity, block int) int32 { return int32(entity*nb + block) }
+
+	var sumLeaked, sumTouched float64
+	rng := mrand.New(mrand.NewSource(cfg.Seed))
+	touched := make([]bool, nodes)
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		db := workload.UniformInts(cfg.DBSize, rng.Int63())
+		queries := workload.UniformRangeQueries(cfg.NumQueries, rng.Int63())
+		endpoints := make([]uint32, 0, numEndpoints)
+		for _, q := range queries {
+			endpoints = append(endpoints, q.Lo, q.Hi)
+		}
+
+		uf.reset()
+		for i := range touched {
+			touched[i] = false
+		}
+
+		for qi, q := range endpoints {
+			qEnt := cfg.DBSize + qi
+			var rights []*ore.Right
+			var token *ore.Left
+			if cfg.UseRealORE {
+				token = scheme.EncryptLeft(q)
+				rights = make([]*ore.Right, len(db))
+				nonce := make([]byte, 16)
+				for i, x := range db {
+					if _, err := rand.Read(nonce); err != nil {
+						return Result{}, err
+					}
+					rights[i] = scheme.EncryptRight(x, nonce)
+				}
+			}
+			for xi, x := range db {
+				var diff int
+				if cfg.UseRealORE {
+					_, diffGot, err := scheme.Compare(token, rights[xi])
+					if err != nil {
+						return Result{}, err
+					}
+					diff = diffGot
+				} else {
+					diff = scheme.FirstDiffBlock(q, x)
+				}
+				// Prefix blocks are pairwise equal.
+				for b := 0; b < diff; b++ {
+					uf.union(node(xi, b), node(qEnt, b))
+					touched[node(xi, b)] = true
+				}
+				if diff < nb {
+					touched[node(xi, diff)] = true
+					if d == 1 {
+						// One-bit blocks: the differing bit is fully
+						// determined on both sides.
+						uf.markKnown(node(xi, diff))
+						uf.markKnown(node(qEnt, diff))
+					}
+				}
+			}
+		}
+
+		leaked, touchedBits := 0, 0
+		for xi := 0; xi < cfg.DBSize; xi++ {
+			for b := 0; b < nb; b++ {
+				n := node(xi, b)
+				if uf.known[uf.find(n)] {
+					leaked += d
+				}
+				if touched[n] {
+					touchedBits += d
+				}
+			}
+		}
+		sumLeaked += float64(leaked) / float64(totalBits)
+		sumTouched += float64(touchedBits) / float64(totalBits)
+	}
+
+	frac := sumLeaked / float64(cfg.Trials)
+	return Result{
+		Config:            cfg,
+		FractionLeaked:    frac,
+		BitsPerValue:      frac * ore.PlainBits,
+		FractionTouched:   sumTouched / float64(cfg.Trials),
+		TotalBitsPerTrial: totalBits,
+	}, nil
+}

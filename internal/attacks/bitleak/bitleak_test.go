@@ -1,0 +1,116 @@
+package bitleak
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := Simulate(Config{DBSize: 10, NumQueries: 0, Trials: 1}); err == nil {
+		t.Error("zero queries accepted")
+	}
+}
+
+// TestPaperNumbersReducedScale runs the paper's experiment at reduced
+// trial count; the full 1,000-trial run lives in the benchmark harness.
+// With DB=10,000 and uniform everything, the expected leakage is a
+// concentrated statistic, so 20 trials suffice to check the shape.
+func TestPaperNumbersReducedScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cases := []struct {
+		queries  int
+		wantFrac float64
+		slack    float64
+	}{
+		{5, 0.12, 0.04},
+		{25, 0.19, 0.04},
+		{50, 0.25, 0.04},
+	}
+	for _, c := range cases {
+		res, err := Simulate(Config{DBSize: 10000, NumQueries: c.queries, Trials: 20, BlockBits: 1, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.FractionLeaked-c.wantFrac) > c.slack {
+			t.Errorf("%d queries: leaked %.3f, paper %.2f (slack %.2f)", c.queries, res.FractionLeaked, c.wantFrac, c.slack)
+		}
+		if res.BitsPerValue < 1 || res.BitsPerValue > 32 {
+			t.Errorf("bits per value = %.2f", res.BitsPerValue)
+		}
+	}
+}
+
+func TestMonotoneInQueries(t *testing.T) {
+	prev := 0.0
+	for _, q := range []int{2, 10, 40} {
+		res, err := Simulate(Config{DBSize: 1000, NumQueries: q, Trials: 10, BlockBits: 1, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FractionLeaked <= prev {
+			t.Errorf("leakage not increasing: %d queries -> %.4f (prev %.4f)", q, res.FractionLeaked, prev)
+		}
+		prev = res.FractionLeaked
+	}
+}
+
+func TestRealOREMatchesAnalytic(t *testing.T) {
+	// Small config, both paths, same seed: leakage must be identical
+	// because FirstDiffBlock and Compare agree.
+	cfgA := Config{DBSize: 50, NumQueries: 3, Trials: 2, BlockBits: 1, Seed: 5}
+	cfgB := cfgA
+	cfgB.UseRealORE = true
+	a, err := Simulate(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.FractionLeaked-b.FractionLeaked) > 1e-12 {
+		t.Errorf("analytic %.6f != real ORE %.6f", a.FractionLeaked, b.FractionLeaked)
+	}
+}
+
+func TestLargerBlocksDetermineNoBits(t *testing.T) {
+	// With multi-bit blocks the first differing block reveals order but
+	// not bit values, so nothing becomes absolutely determined — the
+	// ablation the paper's choice of 1-bit blocks is about.
+	res, err := Simulate(Config{DBSize: 500, NumQueries: 10, Trials: 3, BlockBits: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FractionLeaked != 0 {
+		t.Errorf("4-bit blocks determined %.4f of bits; want 0", res.FractionLeaked)
+	}
+	if res.FractionTouched == 0 {
+		t.Error("constraint coverage should still be positive")
+	}
+}
+
+func TestTouchedAtLeastLeaked(t *testing.T) {
+	res, err := Simulate(Config{DBSize: 500, NumQueries: 5, Trials: 3, BlockBits: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FractionTouched < res.FractionLeaked {
+		t.Errorf("touched %.4f < leaked %.4f", res.FractionTouched, res.FractionLeaked)
+	}
+}
+
+func BenchmarkSimulateTrial(b *testing.B) {
+	cfg := Config{DBSize: 10000, NumQueries: 5, Trials: 1, BlockBits: 1, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package freq implements frequency analysis by rank matching: sort
+// the observed ciphertext (or query-digest) histogram and the
+// attacker's model histogram in decreasing order and match element by
+// element. Lacharité and Paterson proved this simple procedure is the
+// maximum-likelihood estimator for the encryption function — the §6
+// attack against Seabed's SPLASHE query histogram and DET columns.
+package freq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RankMatch matches observed labels to model labels by frequency rank.
+// observed maps ciphertext labels (DET ciphertexts, SPLASHE column
+// names, query digests) to occurrence counts; model maps plaintext
+// candidates to their expected relative frequency (any positive scale).
+// When the histograms have different sizes, only the top
+// min(len(observed), len(model)) ranks are matched.
+func RankMatch(observed map[string]int, model map[string]float64) map[string]string {
+	type obsEntry struct {
+		label string
+		count int
+	}
+	type modEntry struct {
+		label string
+		p     float64
+	}
+	obs := make([]obsEntry, 0, len(observed))
+	for l, c := range observed {
+		obs = append(obs, obsEntry{l, c})
+	}
+	sort.Slice(obs, func(i, j int) bool {
+		if obs[i].count != obs[j].count {
+			return obs[i].count > obs[j].count
+		}
+		return obs[i].label < obs[j].label
+	})
+	mod := make([]modEntry, 0, len(model))
+	for l, p := range model {
+		mod = append(mod, modEntry{l, p})
+	}
+	sort.Slice(mod, func(i, j int) bool {
+		if mod[i].p != mod[j].p {
+			return mod[i].p > mod[j].p
+		}
+		return mod[i].label < mod[j].label
+	})
+	n := len(obs)
+	if len(mod) < n {
+		n = len(mod)
+	}
+	out := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		out[obs[i].label] = mod[i].label
+	}
+	return out
+}
+
+// Accuracy scores an assignment against ground truth, weighting each
+// matched label equally.
+func Accuracy(assignment, truth map[string]string) (float64, error) {
+	if len(assignment) == 0 {
+		return 0, fmt.Errorf("freq: empty assignment")
+	}
+	correct := 0
+	for ct, pt := range assignment {
+		want, ok := truth[ct]
+		if !ok {
+			return 0, fmt.Errorf("freq: no ground truth for %q", ct)
+		}
+		if want == pt {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(assignment)), nil
+}
+
+// WeightedAccuracy scores an assignment weighting each label by its
+// observed count — recovering the frequent values matters more, and
+// this is the metric leakage-abuse papers usually report.
+func WeightedAccuracy(assignment, truth map[string]string, observed map[string]int) (float64, error) {
+	if len(assignment) == 0 {
+		return 0, fmt.Errorf("freq: empty assignment")
+	}
+	var total, correct float64
+	for ct, pt := range assignment {
+		w := float64(observed[ct])
+		total += w
+		if truth[ct] == pt {
+			correct += w
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("freq: observed histogram has zero mass")
+	}
+	return correct / total, nil
+}

@@ -1,0 +1,127 @@
+package leakabuse
+
+import (
+	"testing"
+
+	"snapdb/internal/crypto/prim"
+	"snapdb/internal/crypto/sse"
+	"snapdb/internal/workload"
+)
+
+// buildIndex indexes a small corpus and returns the scheme, index, and
+// per-word counts.
+func buildIndex(t testing.TB, cfg workload.CorpusConfig) (*sse.Scheme, *sse.Index, *workload.Corpus) {
+	t.Helper()
+	corpus, err := workload.NewCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := sse.New(prim.TestKey("leakabuse"))
+	ix := sse.NewIndex()
+	for id, doc := range corpus.Docs {
+		if err := ix.AddDocument(scheme, id, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return scheme, ix, corpus
+}
+
+func smallCfg() workload.CorpusConfig {
+	return workload.CorpusConfig{NumDocs: 800, VocabSize: 300, WordsPerDoc: 12, ZipfS: 1.2, Seed: 3}
+}
+
+func TestObserveCountsMatchCorpus(t *testing.T) {
+	scheme, ix, corpus := buildIndex(t, smallCfg())
+	words := []string{"kw00001", "kw00007", "kw00042"}
+	tokens := make([]sse.Token, len(words))
+	for i, w := range words {
+		tokens[i] = scheme.TokenFor(w)
+	}
+	obs := Observe(ix, tokens)
+	for i, o := range obs {
+		if len(o.Docs) != corpus.Count(words[i]) {
+			t.Errorf("token %d: observed %d docs, corpus count %d", i, len(o.Docs), corpus.Count(words[i]))
+		}
+	}
+}
+
+func TestCountAttackRecoversUniqueCounts(t *testing.T) {
+	scheme, ix, corpus := buildIndex(t, smallCfg())
+	top := corpus.TopWords(60)
+	tokens := make([]sse.Token, len(top))
+	truth := make(map[int]string, len(top))
+	aux := make(map[string]int)
+	for _, w := range corpus.Vocabulary {
+		if c := corpus.Count(w); c > 0 {
+			aux[w] = c
+		}
+	}
+	for i, wc := range top {
+		tokens[i] = scheme.TokenFor(wc.Word)
+		truth[i] = wc.Word
+	}
+	obs := Observe(ix, tokens)
+	recs := CountAttack(obs, aux)
+	score, err := Evaluate(obs, recs, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score.Recovered == 0 {
+		t.Fatal("count attack recovered nothing")
+	}
+	if score.Accuracy() != 1.0 {
+		t.Errorf("accuracy = %.2f; count-unique recoveries must be exact", score.Accuracy())
+	}
+	if score.RecoveryRate() < 0.3 {
+		t.Errorf("recovery rate = %.2f; too low for Zipf head words", score.RecoveryRate())
+	}
+}
+
+func TestCountAttackSkipsAmbiguousCounts(t *testing.T) {
+	obs := []Observation{{TokenID: 0, Docs: []int{1, 2}}}
+	aux := map[string]int{"a": 2, "b": 2} // ambiguous count
+	if recs := CountAttack(obs, aux); len(recs) != 0 {
+		t.Errorf("ambiguous count recovered: %+v", recs)
+	}
+}
+
+func TestCountAttackRevealsDocumentContent(t *testing.T) {
+	scheme, ix, corpus := buildIndex(t, smallCfg())
+	w := corpus.TopWords(1)[0].Word
+	obs := Observe(ix, []sse.Token{scheme.TokenFor(w)})
+	aux := map[string]int{w: corpus.Count(w)}
+	recs := CountAttack(obs, aux)
+	if len(recs) != 1 {
+		t.Fatal("top word not recovered")
+	}
+	// Every matched doc is now known to contain the keyword.
+	for _, docID := range recs[0].Docs {
+		found := false
+		for _, dw := range corpus.Docs[docID] {
+			if dw == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("doc %d claimed to contain %q but does not", docID, w)
+		}
+	}
+}
+
+func TestEvaluateMissingTruth(t *testing.T) {
+	obs := []Observation{{TokenID: 0, Docs: []int{1}}}
+	recs := []Recovery{{TokenID: 0, Keyword: "x"}}
+	if _, err := Evaluate(obs, recs, map[int]string{}); err == nil {
+		t.Error("missing truth accepted")
+	}
+}
+
+func TestScoreEdgeCases(t *testing.T) {
+	s := Score{}
+	if s.Accuracy() != 1 {
+		t.Error("empty recovery accuracy should be 1 (no wrong claims)")
+	}
+	if s.RecoveryRate() != 0 {
+		t.Error("empty observation recovery rate should be 0")
+	}
+}

@@ -1,0 +1,103 @@
+// Package matching implements minimum-cost bipartite matching (the
+// Hungarian algorithm). Section 6 of the paper uses weighted bipartite
+// matching twice: in the Grubbs et al. attack on Seabed's ORE (edges
+// between ciphertexts and plaintexts weighted by frequency fit) and in
+// the conjectured Arx index-recovery attack (nodes matched to ranks by
+// visit-frequency fit).
+package matching
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hungarian solves the n×n assignment problem: cost[i][j] is the cost
+// of assigning row i to column j; the result maps each row to its
+// column in a minimum-total-cost perfect matching.
+//
+// This is the O(n³) Jonker-style potentials formulation.
+func Hungarian(cost [][]float64) ([]int, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, fmt.Errorf("matching: empty cost matrix")
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, fmt.Errorf("matching: row %d has %d columns, want %d", i, len(row), n)
+		}
+		for j, c := range row {
+			if math.IsNaN(c) {
+				return nil, fmt.Errorf("matching: cost[%d][%d] is NaN", i, j)
+			}
+		}
+	}
+	// 1-indexed internals, as in the classic formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j
+	way := make([]int, n+1)
+	const inf = math.MaxFloat64
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	out := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			out[p[j]-1] = j - 1
+		}
+	}
+	return out, nil
+}
+
+// TotalCost sums the cost of an assignment.
+func TotalCost(cost [][]float64, assign []int) float64 {
+	var total float64
+	for i, j := range assign {
+		total += cost[i][j]
+	}
+	return total
+}

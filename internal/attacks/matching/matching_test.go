@@ -1,0 +1,145 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHungarianTrivial(t *testing.T) {
+	cost := [][]float64{{1}}
+	assign, err := Hungarian(cost)
+	if err != nil || len(assign) != 1 || assign[0] != 0 {
+		t.Fatalf("assign = %v, err = %v", assign, err)
+	}
+}
+
+func TestHungarianKnownOptimum(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: row0->col1 (1), row1->col0 (2), row2->col2 (2) = 5.
+	if got := TotalCost(cost, assign); got != 5 {
+		t.Errorf("total cost = %g, want 5 (assign %v)", got, assign)
+	}
+}
+
+func TestHungarianIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(30)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 100
+			}
+		}
+		assign, err := Hungarian(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, n)
+		for _, j := range assign {
+			if j < 0 || j >= n || seen[j] {
+				t.Fatalf("not a permutation: %v", assign)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func TestHungarianBeatsGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		n := 20
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64()
+			}
+		}
+		assign, err := Hungarian(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Greedy row-by-row baseline.
+		used := make([]bool, n)
+		var greedy float64
+		for i := 0; i < n; i++ {
+			best, bestJ := math.MaxFloat64, -1
+			for j := 0; j < n; j++ {
+				if !used[j] && cost[i][j] < best {
+					best, bestJ = cost[i][j], j
+				}
+			}
+			used[bestJ] = true
+			greedy += best
+		}
+		if TotalCost(cost, assign) > greedy+1e-9 {
+			t.Errorf("Hungarian (%.4f) worse than greedy (%.4f)", TotalCost(cost, assign), greedy)
+		}
+	}
+}
+
+func TestHungarianIdentityOnDiagonal(t *testing.T) {
+	n := 8
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i == j {
+				cost[i][j] = 0
+			} else {
+				cost[i][j] = 10
+			}
+		}
+	}
+	assign, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range assign {
+		if i != j {
+			t.Fatalf("diagonal optimum missed: %v", assign)
+		}
+	}
+}
+
+func TestHungarianErrors(t *testing.T) {
+	if _, err := Hungarian(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := Hungarian([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := Hungarian([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN cost accepted")
+	}
+}
+
+func BenchmarkHungarian100(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 100
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Hungarian(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

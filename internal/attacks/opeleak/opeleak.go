@@ -1,0 +1,60 @@
+// Package opeleak quantifies §2's observation that some
+// property-revealing encryption "always leaks": an order-preserving
+// ciphertext reveals approximate plaintext magnitude to a snapshot
+// attacker with no queries at all, because the encryption function is a
+// monotone map from the 32-bit domain into the 63-bit range — the
+// ciphertext's relative position in the range approximates the
+// plaintext's relative position in the domain.
+//
+// EstimateFromCiphertext is the entire attack; Evaluate measures how
+// many leading plaintext bits it recovers on average. This is the
+// no-auxiliary-data baseline; with a known plaintext distribution the
+// binomial attack (attacks/binomial) does strictly better.
+package opeleak
+
+import (
+	"fmt"
+
+	"snapdb/internal/attacks/binomial"
+	"snapdb/internal/crypto/ope"
+)
+
+// rangeBits mirrors the OPE ciphertext range width.
+const rangeBits = 63
+
+// EstimateFromCiphertext maps a ciphertext back to a plaintext estimate
+// by linear position: pt ≈ ct · 2^DomainBits / 2^rangeBits. No key, no
+// queries, no auxiliary data.
+func EstimateFromCiphertext(ct uint64) uint32 {
+	return uint32(ct >> (rangeBits - ope.DomainBits))
+}
+
+// Result summarizes an evaluation.
+type Result struct {
+	Samples          int
+	MeanCorrectBits  float64 // mean leading plaintext bits recovered
+	WorstCorrectBits int     // minimum over the sample
+}
+
+// Evaluate encrypts the given plaintexts under the scheme and scores
+// the ciphertext-only estimator.
+func Evaluate(s *ope.Scheme, plaintexts []uint32) (Result, error) {
+	if len(plaintexts) == 0 {
+		return Result{}, fmt.Errorf("opeleak: no plaintexts")
+	}
+	total := 0
+	worst := 33
+	for _, pt := range plaintexts {
+		est := EstimateFromCiphertext(s.Encrypt(pt))
+		bits := binomial.CorrectHighBits(pt, est)
+		total += bits
+		if bits < worst {
+			worst = bits
+		}
+	}
+	return Result{
+		Samples:          len(plaintexts),
+		MeanCorrectBits:  float64(total) / float64(len(plaintexts)),
+		WorstCorrectBits: worst,
+	}, nil
+}

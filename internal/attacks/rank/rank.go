@@ -1,0 +1,408 @@
+// Package rank implements the Arx transcript attack sketched in §6 of
+// the paper: the transaction logs of the DBMS hosting an Arx range
+// index contain one repair UPDATE per node a range query consumed, so
+// a disk snapshot yields (1) the full sequence of range queries, (2)
+// per-node visit frequencies, and (3) rank information about query
+// endpoints. Combined with an auxiliary model of the query
+// distribution, minimum-cost matching of observed visit counts against
+// expected per-rank visit counts recovers which node holds which rank —
+// and, with a known value multiset, the values themselves.
+package rank
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"snapdb/internal/attacks/matching"
+	"snapdb/internal/wal"
+)
+
+// Transcript is what the attacker reconstructs from the WAL.
+type Transcript struct {
+	// Queries holds, per range query, the node ids consumed (in
+	// traversal order). Queries are delimited by the repair bursts in
+	// the log: consecutive updates with no intervening operations on
+	// other tables belong to one traversal, and a traversal always
+	// starts at the root — the one node id that begins every burst.
+	Queries [][]int
+	// Visits counts repairs per node id.
+	Visits map[int]int
+}
+
+// FromWAL reconstructs the transcript from redo records of the index's
+// table. Root is identified as the node id that starts every query;
+// bursts are split at each occurrence of the root.
+func FromWAL(records []wal.Record, table uint8) (*Transcript, error) {
+	var updates []int
+	for _, r := range records {
+		if r.Table != table || r.Op != wal.OpUpdate {
+			continue
+		}
+		if len(r.Image) == 0 || !r.Image[0].IsInt {
+			return nil, fmt.Errorf("rank: malformed repair record at LSN %d", r.LSN)
+		}
+		updates = append(updates, int(r.Image[0].Int))
+	}
+	t := &Transcript{Visits: make(map[int]int)}
+	if len(updates) == 0 {
+		return t, nil
+	}
+	root := updates[0]
+	var cur []int
+	for _, nid := range updates {
+		t.Visits[nid]++
+		if nid == root && len(cur) > 0 {
+			t.Queries = append(t.Queries, cur)
+			cur = nil
+		}
+		cur = append(cur, nid)
+	}
+	t.Queries = append(t.Queries, cur)
+	return t, nil
+}
+
+// QueryModel samples range queries over ranks [0, n): the attacker's
+// auxiliary knowledge of the query distribution.
+type QueryModel func(rng *rand.Rand, n int) (lo, hi int)
+
+// UniformRanges is the uniform query model.
+func UniformRanges(rng *rand.Rand, n int) (int, int) {
+	a, b := rng.Intn(n), rng.Intn(n)
+	if a > b {
+		a, b = b, a
+	}
+	return a, b
+}
+
+// ExpectedVisits estimates, by Monte-Carlo over random treaps, the
+// expected number of visits per value rank when queries follow the
+// model. The attacker can compute this without any secret: treap
+// priorities are random, and the query model is auxiliary knowledge.
+func ExpectedVisits(n, queriesPerTrial, trials int, model QueryModel, seed int64) ([]float64, error) {
+	if n <= 0 || queriesPerTrial <= 0 || trials <= 0 {
+		return nil, fmt.Errorf("rank: dimensions must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := make([]float64, n)
+	for trial := 0; trial < trials; trial++ {
+		tr := buildTreap(n, rng)
+		for q := 0; q < queriesPerTrial; q++ {
+			lo, hi := model(rng, n)
+			visit(tr, lo, hi, func(rankID int) { total[rankID]++ })
+		}
+	}
+	for i := range total {
+		total[i] /= float64(trials)
+	}
+	return total, nil
+}
+
+// tnode is a simulated treap node over ranks.
+type tnode struct {
+	rank        int
+	prio        uint64
+	left, right *tnode
+}
+
+func buildTreap(n int, rng *rand.Rand) *tnode {
+	var root *tnode
+	ranks := rng.Perm(n)
+	for _, r := range ranks {
+		root = tinsert(root, &tnode{rank: r, prio: rng.Uint64()})
+	}
+	return root
+}
+
+func tinsert(root, n *tnode) *tnode {
+	if root == nil {
+		return n
+	}
+	if n.rank < root.rank {
+		root.left = tinsert(root.left, n)
+		if root.left.prio > root.prio {
+			l := root.left
+			root.left = l.right
+			l.right = root
+			return l
+		}
+	} else {
+		root.right = tinsert(root.right, n)
+		if root.right.prio > root.prio {
+			r := root.right
+			root.right = r.left
+			r.left = root
+			return r
+		}
+	}
+	return root
+}
+
+// visit walks the treap exactly the way arxx.RangeQuery does.
+func visit(n *tnode, lo, hi int, fn func(int)) {
+	if n == nil {
+		return
+	}
+	fn(n.rank)
+	if lo < n.rank {
+		visit(n.left, lo, hi, fn)
+	}
+	if hi >= n.rank {
+		visit(n.right, lo, hi, fn)
+	}
+}
+
+// RecoverRanks matches observed per-node visit counts to expected
+// per-rank visit counts via minimum-cost assignment. The result maps
+// node id → estimated rank. len(expected) must equal the node count.
+func RecoverRanks(visits map[int]int, expected []float64) (map[int]int, error) {
+	n := len(visits)
+	if n == 0 {
+		return nil, fmt.Errorf("rank: no observed visits")
+	}
+	if len(expected) != n {
+		return nil, fmt.Errorf("rank: %d observed nodes vs %d expected ranks", n, len(expected))
+	}
+	ids := make([]int, 0, n)
+	for id := range visits {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	cost := make([][]float64, n)
+	for i, id := range ids {
+		cost[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			d := float64(visits[id]) - expected[j]
+			cost[i][j] = d * d
+		}
+	}
+	assign, err := matching.Hungarian(cost)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]int, n)
+	for i, id := range ids {
+		out[id] = assign[i]
+	}
+	return out, nil
+}
+
+// RecoverOrder infers the value order of the index nodes from the
+// traversal sequences alone — the strong form of the transcript attack.
+// It rests on two structural facts about the preorder range-query walk:
+//
+//  1. For two visited nodes where neither is the other's ancestor,
+//     visit order equals value order (the BST property), identically in
+//     every query that visits both.
+//  2. a is an ancestor of b exactly when every query that visits b
+//     also visits a — detectable from visit-set containment once
+//     enough queries have run.
+//
+// Non-ancestor pairs therefore yield a large consistent partial order;
+// Borda scoring plus local repair sorts the nodes by value. The return
+// value lists node ids in ascending estimated value order.
+func RecoverOrder(tr *Transcript) ([]int, error) {
+	if len(tr.Visits) == 0 {
+		return nil, fmt.Errorf("rank: empty transcript")
+	}
+	ids := make([]int, 0, len(tr.Visits))
+	for id := range tr.Visits {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	idx := make(map[int]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	n := len(ids)
+	covis := make([][]int, n)
+	before := make([][]int, n) // before[a][b]: queries where a precedes b
+	for i := range covis {
+		covis[i] = make([]int, n)
+		before[i] = make([]int, n)
+	}
+	pos := make(map[int]int, n)
+	for _, q := range tr.Queries {
+		for k := range pos {
+			delete(pos, k)
+		}
+		for p, id := range q {
+			pos[id] = p
+		}
+		for a, pa := range pos {
+			ia := idx[a]
+			for b, pb := range pos {
+				if a == b {
+					continue
+				}
+				ib := idx[b]
+				covis[ia][ib]++
+				if pa < pb {
+					before[ia][ib]++
+				}
+			}
+		}
+	}
+	// Classify pairs: ancestry (visit-set containment) vs order pairs.
+	// For a true ancestor a of b, every query visiting b visits a, so
+	// covis(a,b) == visits(b) exactly; the converse can have false
+	// positives, which only makes the relation sparser, never wrong.
+	visits := func(i int) int { return tr.Visits[ids[i]] }
+	anc := make([][]bool, n) // anc[a][b]: a is (possibly) an ancestor of b
+	less := make([][]int8, n)
+	for i := range less {
+		less[i] = make([]int8, n)
+		anc[i] = make([]bool, n)
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			c := covis[a][b]
+			if c > 0 && c == visits(b) && visits(a) > visits(b) {
+				anc[a][b] = true
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			c := covis[a][b]
+			// Skip when ancestry is possible in either direction —
+			// including the equal-visit-set case (e.g. the root and a
+			// spine child visited by every query), where preorder
+			// position reflects depth, not value.
+			if c == 0 || c == visits(a) || c == visits(b) {
+				continue
+			}
+			switch {
+			case before[a][b] == c:
+				less[a][b], less[b][a] = 1, -1
+			case before[b][a] == c:
+				less[a][b], less[b][a] = -1, 1
+			}
+		}
+	}
+	// Place ancestors: a node's immediate children split its
+	// descendants into the left and right subtrees, and which child is
+	// left follows from the children's own (non-ancestor) order
+	// relation. Everything in the left subtree is < a, everything in
+	// the right subtree is > a.
+	for a := 0; a < n; a++ {
+		var children []int
+		for b := 0; b < n; b++ {
+			if !anc[a][b] {
+				continue
+			}
+			immediate := true
+			for c := 0; c < n; c++ {
+				if c != a && c != b && anc[a][c] && anc[c][b] {
+					immediate = false
+					break
+				}
+			}
+			if immediate {
+				children = append(children, b)
+			}
+		}
+		if len(children) != 2 {
+			continue // one-sided or unresolved: no side information
+		}
+		cl, cr := children[0], children[1]
+		switch {
+		case less[cl][cr] == 1:
+		case less[cr][cl] == 1:
+			cl, cr = cr, cl
+		default:
+			continue
+		}
+		setLess := func(x, y int) { less[x][y], less[y][x] = 1, -1 }
+		setLess(cl, a)
+		setLess(a, cr)
+		for d := 0; d < n; d++ {
+			if d == cl || d == cr || d == a {
+				continue
+			}
+			if anc[cl][d] {
+				setLess(d, a)
+			}
+			if anc[cr][d] {
+				setLess(a, d)
+			}
+		}
+	}
+	// Transitive closure so sparse direct relations still order distant
+	// pairs.
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if less[i][k] != 1 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if less[k][j] == 1 && less[i][j] == 0 {
+					less[i][j], less[j][i] = 1, -1
+				}
+			}
+		}
+	}
+	// Borda scores from the known relation, then adjacent-swap repair.
+	order := make([]int, n)
+	score := make([]int, n)
+	for a := 0; a < n; a++ {
+		order[a] = a
+		for b := 0; b < n; b++ {
+			if less[b][a] == 1 {
+				score[a]++
+			}
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return score[order[i]] < score[order[j]] })
+	for pass := 0; pass < n; pass++ {
+		changed := false
+		for i := 0; i+1 < n; i++ {
+			if less[order[i+1]][order[i]] == 1 { // order[i+1] < order[i]: violated
+				order[i], order[i+1] = order[i+1], order[i]
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := make([]int, n)
+	for i, o := range order {
+		out[i] = ids[o]
+	}
+	return out, nil
+}
+
+// RanksFromOrder converts an order (ascending node ids by value) into a
+// node id → rank map.
+func RanksFromOrder(order []int) map[int]int {
+	out := make(map[int]int, len(order))
+	for r, id := range order {
+		out[id] = r
+	}
+	return out
+}
+
+// ScoreRankRecovery returns the mean absolute rank error of a recovery
+// normalized by n (0 = perfect, ~1/3 = random guessing).
+func ScoreRankRecovery(recovered, truth map[int]int, n int) (float64, error) {
+	if len(recovered) == 0 || n <= 0 {
+		return 0, fmt.Errorf("rank: empty recovery")
+	}
+	var total float64
+	for id, r := range recovered {
+		tr, ok := truth[id]
+		if !ok {
+			return 0, fmt.Errorf("rank: no ground truth for node %d", id)
+		}
+		d := float64(r - tr)
+		if d < 0 {
+			d = -d
+		}
+		total += d
+	}
+	return total / float64(len(recovered)) / float64(n), nil
+}

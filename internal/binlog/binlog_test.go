@@ -1,0 +1,100 @@
+package binlog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndEvents(t *testing.T) {
+	l := New()
+	l.Append(Event{Timestamp: 100, LSN: 1, Statement: "INSERT INTO t (id) VALUES (1)"})
+	l.Append(Event{Timestamp: 101, LSN: 2, Statement: "UPDATE t SET v = 2 WHERE id = 1"})
+	evs := l.Events()
+	if len(evs) != 2 || l.Len() != 2 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Timestamp != 100 || evs[1].LSN != 2 {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	l := New()
+	stmts := []string{
+		"INSERT INTO accounts (id, ssn) VALUES (1, '078-05-1120')",
+		"UPDATE accounts SET balance = 99 WHERE id = 1",
+		"DELETE FROM accounts WHERE id = 1",
+	}
+	for i, s := range stmts {
+		l.Append(Event{Timestamp: int64(1000 + i), LSN: uint64(i * 50), Statement: s})
+	}
+	parsed, err := Parse(l.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(stmts) {
+		t.Fatalf("parsed %d events", len(parsed))
+	}
+	for i, ev := range parsed {
+		if ev.Statement != stmts[i] || ev.Timestamp != int64(1000+i) || ev.LSN != uint64(i*50) {
+			t.Errorf("event %d = %+v", i, ev)
+		}
+	}
+}
+
+func TestParseRejectsTruncation(t *testing.T) {
+	l := New()
+	l.Append(Event{Timestamp: 1, LSN: 1, Statement: "INSERT INTO t (id) VALUES (1)"})
+	img := l.Serialize()
+	if _, err := Parse(img[:len(img)-3]); err == nil {
+		t.Error("truncated statement accepted")
+	}
+	if _, err := Parse(img[:10]); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	evs, err := Parse(nil)
+	if err != nil || len(evs) != 0 {
+		t.Errorf("empty: evs=%d err=%v", len(evs), err)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	l := New()
+	for i := int64(0); i < 10; i++ {
+		l.Append(Event{Timestamp: i, LSN: uint64(i), Statement: "x"})
+	}
+	purged := l.Purge(5)
+	if purged != 5 {
+		t.Errorf("purged %d, want 5", purged)
+	}
+	evs := l.Events()
+	if len(evs) != 5 || evs[0].Timestamp != 5 {
+		t.Errorf("remaining = %+v", evs)
+	}
+	if l.Purge(0) != 0 {
+		t.Error("purge before oldest removed events")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(ts int64, lsn uint64, stmt string) bool {
+		l := New()
+		l.Append(Event{Timestamp: ts, LSN: lsn, Statement: stmt})
+		evs, err := Parse(l.Serialize())
+		return err == nil && len(evs) == 1 && evs[0] == (Event{Timestamp: ts, LSN: lsn, Statement: stmt})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	l := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Append(Event{Timestamp: int64(i), LSN: uint64(i), Statement: "INSERT INTO t (id, v) VALUES (1, 'x')"})
+	}
+}

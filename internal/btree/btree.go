@@ -1,0 +1,440 @@
+// Package btree implements the clustered B+ tree index used by the
+// snapdb engine, one tree per table, keyed by primary key.
+//
+// Node contents live in storage pages fetched through the buffer pool,
+// so every traversal updates the pool's LRU order and access counters —
+// the in-memory state that §5 of the paper shows a snapshot attacker
+// reads back out. Inserts append into slotted pages and deletes only
+// mark slots, so page images retain dead-record residue like production
+// engines do.
+package btree
+
+import (
+	"fmt"
+	"sort"
+
+	"snapdb/internal/bufpool"
+	"snapdb/internal/sqlparse"
+	"snapdb/internal/storage"
+)
+
+// Tree is a B+ tree whose leaf entries are full records with the key in
+// column 0.
+type Tree struct {
+	pool *bufpool.Pool
+	ts   *storage.Tablespace
+	root storage.PageID
+}
+
+// New creates an empty tree with a single leaf root.
+func New(ts *storage.Tablespace, pool *bufpool.Pool) *Tree {
+	leaf := ts.Allocate(storage.PageBTreeLeaf)
+	return &Tree{pool: pool, ts: ts, root: leaf.ID()}
+}
+
+// Open attaches to an existing tree rooted at root.
+func Open(ts *storage.Tablespace, pool *bufpool.Pool, root storage.PageID) *Tree {
+	return &Tree{pool: pool, ts: ts, root: root}
+}
+
+// Root returns the current root page id (it changes when the root
+// splits), for catalog persistence.
+func (t *Tree) Root() storage.PageID { return t.root }
+
+// entry is one decoded node entry. In a leaf, rec is the full record
+// (rec[0] is the key). In an internal node, rec is {separatorKey,
+// childPageID}.
+type entry struct {
+	key  sqlparse.Value
+	rec  storage.Record
+	slot int
+}
+
+func decodeEntries(p *storage.Page) ([]entry, error) {
+	var out []entry
+	for i := 0; i < p.SlotCount(); i++ {
+		b := p.SlotBytes(i)
+		if b == nil {
+			continue
+		}
+		rec, _, err := storage.DecodeRecord(b)
+		if err != nil {
+			return nil, fmt.Errorf("btree: page %d slot %d: %w", p.ID(), i, err)
+		}
+		if len(rec) == 0 {
+			return nil, fmt.Errorf("btree: page %d slot %d: empty record", p.ID(), i)
+		}
+		out = append(out, entry{key: rec[0], rec: rec, slot: i})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].key.Compare(out[j].key) < 0 })
+	return out, nil
+}
+
+// childFor returns the child page that covers key: the last entry whose
+// separator is <= key, or the first entry if key precedes all
+// separators.
+func childFor(entries []entry, key sqlparse.Value) (storage.PageID, error) {
+	if len(entries) == 0 {
+		return storage.InvalidPage, fmt.Errorf("btree: internal node with no children")
+	}
+	idx := 0
+	for i, e := range entries {
+		if e.key.Compare(key) <= 0 {
+			idx = i
+		} else {
+			break
+		}
+	}
+	child := entries[idx].rec[1]
+	if !child.IsInt {
+		return storage.InvalidPage, fmt.Errorf("btree: corrupt child pointer")
+	}
+	return storage.PageID(child.Int), nil
+}
+
+// findLeaf walks from the root to the leaf covering key, returning the
+// leaf and the page-id path walked (root first).
+func (t *Tree) findLeaf(key sqlparse.Value) (*storage.Page, []storage.PageID, error) {
+	var path []storage.PageID
+	id := t.root
+	for {
+		p, err := t.pool.Fetch(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		path = append(path, id)
+		if p.Type() == storage.PageBTreeLeaf {
+			return p, path, nil
+		}
+		entries, err := decodeEntries(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		id, err = childFor(entries, key)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+}
+
+// TraversalPath returns the page ids a lookup of key touches, root
+// first. The leakage analysis uses it to interpret buffer-pool dumps.
+func (t *Tree) TraversalPath(key sqlparse.Value) ([]storage.PageID, error) {
+	_, path, err := t.findLeaf(key)
+	return path, err
+}
+
+// ErrDuplicateKey is returned by Insert when the key already exists.
+var ErrDuplicateKey = fmt.Errorf("btree: duplicate key")
+
+// Insert adds a record; rec[0] is the key.
+func (t *Tree) Insert(rec storage.Record) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("btree: inserting empty record")
+	}
+	split, err := t.insertInto(t.root, rec)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		// Root split: build a new internal root over old root and the
+		// new sibling.
+		oldRootFirst, err := t.firstKeyOf(t.root)
+		if err != nil {
+			return err
+		}
+		newRoot := t.ts.Allocate(storage.PageBTreeInternal)
+		left := storage.EncodeRecord(storage.Record{oldRootFirst, sqlparse.IntValue(int64(t.root))})
+		right := storage.EncodeRecord(storage.Record{split.key, sqlparse.IntValue(int64(split.page))})
+		if _, err := newRoot.InsertBytes(left); err != nil {
+			return err
+		}
+		if _, err := newRoot.InsertBytes(right); err != nil {
+			return err
+		}
+		t.root = newRoot.ID()
+	}
+	return nil
+}
+
+func (t *Tree) firstKeyOf(id storage.PageID) (sqlparse.Value, error) {
+	p, err := t.ts.Get(id)
+	if err != nil {
+		return sqlparse.Value{}, err
+	}
+	entries, err := decodeEntries(p)
+	if err != nil {
+		return sqlparse.Value{}, err
+	}
+	if len(entries) == 0 {
+		return sqlparse.Value{}, fmt.Errorf("btree: page %d is empty", id)
+	}
+	return entries[0].key, nil
+}
+
+// splitResult describes an upward-propagating split.
+type splitResult struct {
+	key  sqlparse.Value // first key of the new right sibling
+	page storage.PageID
+}
+
+func (t *Tree) insertInto(id storage.PageID, rec storage.Record) (*splitResult, error) {
+	p, err := t.pool.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	if p.Type() == storage.PageBTreeLeaf {
+		return t.insertLeaf(p, rec)
+	}
+	entries, err := decodeEntries(p)
+	if err != nil {
+		return nil, err
+	}
+	child, err := childFor(entries, rec[0])
+	if err != nil {
+		return nil, err
+	}
+	split, err := t.insertInto(child, rec)
+	if err != nil || split == nil {
+		return nil, err
+	}
+	sep := storage.Record{split.key, sqlparse.IntValue(int64(split.page))}
+	return t.insertNodeEntry(p, sep)
+}
+
+func (t *Tree) insertLeaf(p *storage.Page, rec storage.Record) (*splitResult, error) {
+	entries, err := decodeEntries(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.key.Equal(rec[0]) {
+			return nil, fmt.Errorf("%w: %s", ErrDuplicateKey, rec[0])
+		}
+	}
+	return t.insertNodeEntry(p, rec)
+}
+
+// insertNodeEntry appends rec into node p, splitting if necessary.
+func (t *Tree) insertNodeEntry(p *storage.Page, rec storage.Record) (*splitResult, error) {
+	enc := storage.EncodeRecord(rec)
+	if len(enc) > storage.PageSize/2 {
+		return nil, fmt.Errorf("btree: record of %d bytes exceeds half a page", len(enc))
+	}
+	if _, err := p.InsertBytes(enc); err == nil {
+		return nil, nil
+	}
+	// Reclaim deleted-slot space before splitting.
+	p.Compact()
+	if _, err := p.InsertBytes(enc); err == nil {
+		return nil, nil
+	}
+	return t.split(p, rec)
+}
+
+// split divides node p around its median, moving the upper half (plus
+// rec wherever it belongs) into a fresh sibling.
+func (t *Tree) split(p *storage.Page, rec storage.Record) (*splitResult, error) {
+	entries, err := decodeEntries(p)
+	if err != nil {
+		return nil, err
+	}
+	all := make([]storage.Record, 0, len(entries)+1)
+	for _, e := range entries {
+		all = append(all, e.rec)
+	}
+	all = append(all, rec)
+	sort.SliceStable(all, func(i, j int) bool { return all[i][0].Compare(all[j][0]) < 0 })
+	mid := len(all) / 2
+
+	sibling := t.ts.Allocate(p.Type())
+	if p.Type() == storage.PageBTreeLeaf {
+		sibling.SetNext(p.Next())
+		p.SetNext(sibling.ID())
+	}
+	oldNext := p.Next()
+	p.Format(p.ID(), p.Type())
+	if p.Type() == storage.PageBTreeLeaf {
+		p.SetNext(oldNext)
+	}
+	for i, r := range all {
+		target := p
+		if i >= mid {
+			target = sibling
+		}
+		if _, err := target.InsertBytes(storage.EncodeRecord(r)); err != nil {
+			return nil, fmt.Errorf("btree: split re-insert failed: %w", err)
+		}
+	}
+	return &splitResult{key: all[mid][0], page: sibling.ID()}, nil
+}
+
+// Search returns the record with the given key.
+func (t *Tree) Search(key sqlparse.Value) (storage.Record, bool, error) {
+	leaf, _, err := t.findLeaf(key)
+	if err != nil {
+		return nil, false, err
+	}
+	entries, err := decodeEntries(leaf)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, e := range entries {
+		if e.key.Equal(key) {
+			return e.rec.Clone(), true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Delete removes the record with the given key, reporting whether it
+// existed. The slot is only marked deleted; bytes remain in the page.
+func (t *Tree) Delete(key sqlparse.Value) (bool, error) {
+	leaf, _, err := t.findLeaf(key)
+	if err != nil {
+		return false, err
+	}
+	entries, err := decodeEntries(leaf)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if e.key.Equal(key) {
+			return true, leaf.DeleteSlot(e.slot)
+		}
+	}
+	return false, nil
+}
+
+// Update replaces the record stored under key (rec[0] must equal key).
+func (t *Tree) Update(key sqlparse.Value, rec storage.Record) (bool, error) {
+	if len(rec) == 0 || !rec[0].Equal(key) {
+		return false, fmt.Errorf("btree: update record key mismatch")
+	}
+	leaf, _, err := t.findLeaf(key)
+	if err != nil {
+		return false, err
+	}
+	entries, err := decodeEntries(leaf)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.key.Equal(key) {
+			continue
+		}
+		enc := storage.EncodeRecord(rec)
+		if err := leaf.UpdateSlot(e.slot, enc); err == storage.ErrPageFull {
+			// Delete + re-insert through the normal split path.
+			if err := leaf.DeleteSlot(e.slot); err != nil {
+				return false, err
+			}
+			return true, t.Insert(rec)
+		} else if err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// Scan calls fn for every record in key order. fn returns false to stop.
+func (t *Tree) Scan(fn func(storage.Record) bool) error {
+	leaf, err := t.leftmostLeaf()
+	if err != nil {
+		return err
+	}
+	return t.scanLeaves(leaf, fn)
+}
+
+// Range calls fn for records with lo <= key <= hi in key order.
+func (t *Tree) Range(lo, hi sqlparse.Value, fn func(storage.Record) bool) error {
+	leaf, _, err := t.findLeaf(lo)
+	if err != nil {
+		return err
+	}
+	stop := func(r storage.Record) bool { return r[0].Compare(hi) > 0 }
+	return t.scanLeaves(leaf, func(r storage.Record) bool {
+		if r[0].Compare(lo) < 0 {
+			return true
+		}
+		if stop(r) {
+			return false
+		}
+		return fn(r)
+	})
+}
+
+func (t *Tree) leftmostLeaf() (*storage.Page, error) {
+	id := t.root
+	for {
+		p, err := t.pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		if p.Type() == storage.PageBTreeLeaf {
+			return p, nil
+		}
+		entries, err := decodeEntries(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(entries) == 0 {
+			return nil, fmt.Errorf("btree: empty internal node %d", id)
+		}
+		id = storage.PageID(entries[0].rec[1].Int)
+	}
+}
+
+func (t *Tree) scanLeaves(leaf *storage.Page, fn func(storage.Record) bool) error {
+	for {
+		entries, err := decodeEntries(leaf)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !fn(e.rec.Clone()) {
+				return nil
+			}
+		}
+		next := leaf.Next()
+		if next == storage.InvalidPage {
+			return nil
+		}
+		leaf, err = t.pool.Fetch(next)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Len counts the records in the tree (full scan).
+func (t *Tree) Len() (int, error) {
+	n := 0
+	err := t.Scan(func(storage.Record) bool { n++; return true })
+	return n, err
+}
+
+// Height returns the number of levels from root to leaf.
+func (t *Tree) Height() (int, error) {
+	h := 1
+	id := t.root
+	for {
+		p, err := t.ts.Get(id)
+		if err != nil {
+			return 0, err
+		}
+		if p.Type() == storage.PageBTreeLeaf {
+			return h, nil
+		}
+		entries, err := decodeEntries(p)
+		if err != nil {
+			return 0, err
+		}
+		if len(entries) == 0 {
+			return 0, fmt.Errorf("btree: empty internal node %d", id)
+		}
+		id = storage.PageID(entries[0].rec[1].Int)
+		h++
+	}
+}

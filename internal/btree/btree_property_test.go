@@ -1,0 +1,115 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"snapdb/internal/sqlparse"
+	"snapdb/internal/storage"
+)
+
+// TestQuickInsertSearchDelete drives random operation sequences against
+// both the tree and a model map, checking they agree at every step.
+func TestQuickInsertSearchDelete(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, _, _ := newTree(t)
+		rng := rand.New(rand.NewSource(seed))
+		model := make(map[int64]string)
+		for op := 0; op < 400; op++ {
+			k := int64(rng.Intn(120))
+			switch rng.Intn(3) {
+			case 0: // insert
+				payload := string(rune('a' + rng.Intn(26)))
+				err := tr.Insert(intRec(k, payload))
+				if _, exists := model[k]; exists {
+					if err == nil {
+						return false // duplicate accepted
+					}
+				} else {
+					if err != nil {
+						return false
+					}
+					model[k] = payload
+				}
+			case 1: // delete
+				found, err := tr.Delete(sqlparse.IntValue(k))
+				if err != nil {
+					return false
+				}
+				_, exists := model[k]
+				if found != exists {
+					return false
+				}
+				delete(model, k)
+			case 2: // search
+				rec, found, err := tr.Search(sqlparse.IntValue(k))
+				if err != nil {
+					return false
+				}
+				want, exists := model[k]
+				if found != exists {
+					return false
+				}
+				if found && rec[1].Str != want {
+					return false
+				}
+			}
+		}
+		// Final full-scan agreement.
+		n := 0
+		err := tr.Scan(func(r storage.Record) bool {
+			want, ok := model[r[0].Int]
+			if !ok || r[1].Str != want {
+				return false
+			}
+			n++
+			return true
+		})
+		return err == nil && n == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRangeMatchesModel checks Range against a filtered model.
+func TestQuickRangeMatchesModel(t *testing.T) {
+	f := func(seed int64, loRaw, hiRaw uint8) bool {
+		tr, _, _ := newTree(t)
+		rng := rand.New(rand.NewSource(seed))
+		model := make(map[int64]bool)
+		for i := 0; i < 200; i++ {
+			k := int64(rng.Intn(255))
+			if model[k] {
+				continue
+			}
+			if err := tr.Insert(intRec(k, "x")); err != nil {
+				return false
+			}
+			model[k] = true
+		}
+		lo, hi := int64(loRaw), int64(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := 0
+		for k := range model {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		got := 0
+		err := tr.Range(sqlparse.IntValue(lo), sqlparse.IntValue(hi), func(r storage.Record) bool {
+			if r[0].Int < lo || r[0].Int > hi {
+				return false
+			}
+			got++
+			return true
+		})
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

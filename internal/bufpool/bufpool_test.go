@@ -1,0 +1,190 @@
+package bufpool
+
+import (
+	"testing"
+
+	"snapdb/internal/storage"
+)
+
+func newPool(t *testing.T, capacity, pages int) (*Pool, []storage.PageID) {
+	t.Helper()
+	ts := storage.NewTablespace()
+	ids := make([]storage.PageID, pages)
+	for i := range ids {
+		ids[i] = ts.Allocate(storage.PageBTreeLeaf).ID()
+	}
+	p, err := New(ts, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, ids
+}
+
+func TestNewRejectsBadCapacity(t *testing.T) {
+	ts := storage.NewTablespace()
+	if _, err := New(ts, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(ts, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestFetchCachesAndCounts(t *testing.T) {
+	p, ids := newPool(t, 4, 2)
+	if _, err := p.Fetch(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Fetch(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if !p.Contains(ids[0]) || p.Contains(ids[1]) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestFetchUnknownPage(t *testing.T) {
+	p, _ := newPool(t, 4, 1)
+	if _, err := p.Fetch(999); err == nil {
+		t.Error("unknown page accepted")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	p, ids := newPool(t, 2, 3)
+	for _, id := range ids {
+		if _, err := p.Fetch(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Contains(ids[0]) {
+		t.Error("oldest page not evicted")
+	}
+	if !p.Contains(ids[1]) || !p.Contains(ids[2]) {
+		t.Error("recent pages evicted")
+	}
+	if _, _, ev := p.Stats(); ev != 1 {
+		t.Errorf("evictions = %d", ev)
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestLRUOrderMostRecentFirst(t *testing.T) {
+	p, ids := newPool(t, 4, 3)
+	for _, id := range ids {
+		_, _ = p.Fetch(id)
+	}
+	_, _ = p.Fetch(ids[0]) // touch 0 again
+	order := p.LRUOrder()
+	want := []storage.PageID{ids[0], ids[2], ids[1]}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("LRU order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestHotPagesOrdering(t *testing.T) {
+	p, ids := newPool(t, 4, 3)
+	for i := 0; i < 5; i++ {
+		_, _ = p.Fetch(ids[1])
+	}
+	for i := 0; i < 2; i++ {
+		_, _ = p.Fetch(ids[2])
+	}
+	_, _ = p.Fetch(ids[0])
+	hot := p.HotPages()
+	if len(hot) != 3 {
+		t.Fatalf("hot len = %d", len(hot))
+	}
+	if hot[0].ID != ids[1] || hot[0].Count != 5 {
+		t.Errorf("hottest = %+v", hot[0])
+	}
+	if hot[1].ID != ids[2] || hot[2].ID != ids[0] {
+		t.Errorf("order = %+v", hot)
+	}
+}
+
+func TestAccessCountsSurviveEviction(t *testing.T) {
+	p, ids := newPool(t, 1, 2)
+	_, _ = p.Fetch(ids[0])
+	_, _ = p.Fetch(ids[1]) // evicts ids[0]
+	hot := p.HotPages()
+	found := false
+	for _, h := range hot {
+		if h.ID == ids[0] && h.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("evicted page's access count lost")
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	p, ids := newPool(t, 4, 3)
+	for _, id := range ids {
+		_, _ = p.Fetch(id)
+	}
+	img := p.DumpFile()
+	got, err := ParseDump(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.LRUOrder()
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d ids, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("dump[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseDumpRejectsGarbage(t *testing.T) {
+	if _, err := ParseDump(nil); err == nil {
+		t.Error("nil dump accepted")
+	}
+	if _, err := ParseDump([]byte{1, 2, 3, 4, 5, 6, 7, 8}); err == nil {
+		t.Error("bad magic accepted")
+	}
+	p, ids := newPool(t, 4, 2)
+	_, _ = p.Fetch(ids[0])
+	img := p.DumpFile()
+	if _, err := ParseDump(img[:len(img)-1]); err == nil {
+		t.Error("truncated dump accepted")
+	}
+}
+
+func TestDumpEmptyPool(t *testing.T) {
+	p, _ := newPool(t, 4, 1)
+	got, err := ParseDump(p.DumpFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty pool dump has %d entries", len(got))
+	}
+}
+
+func BenchmarkFetchHit(b *testing.B) {
+	ts := storage.NewTablespace()
+	id := ts.Allocate(storage.PageBTreeLeaf).ID()
+	p, err := New(ts, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Fetch(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

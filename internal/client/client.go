@@ -1,0 +1,102 @@
+// Package client is the TCP client for the snapdb server's line
+// protocol (see internal/server for the wire format).
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+
+	"snapdb/internal/server"
+	"snapdb/internal/sqlparse"
+)
+
+// Result is one statement's outcome.
+type Result struct {
+	Columns      []string
+	Rows         [][]sqlparse.Value
+	RowsAffected int
+	FromCache    bool
+}
+
+// Conn is one client connection (one server-side session).
+type Conn struct {
+	c net.Conn
+	r *bufio.Reader
+}
+
+// Dial connects to a snapdb server.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Conn{c: c, r: bufio.NewReader(c)}, nil
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// Execute sends one statement and reads the response. Statements must
+// not contain newlines (the protocol is line-oriented).
+func (c *Conn) Execute(stmt string) (*Result, error) {
+	if strings.ContainsAny(stmt, "\r\n") {
+		return nil, fmt.Errorf("client: statement contains a newline")
+	}
+	if _, err := fmt.Fprintf(c.c, "%s\n", stmt); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case strings.HasPrefix(line, "ERR "):
+		return nil, fmt.Errorf("client: server: %s", line[4:])
+	case strings.HasPrefix(line, "OK "):
+		var nrows, affected, fromCache int
+		if _, err := fmt.Sscanf(line, "OK %d %d %d", &nrows, &affected, &fromCache); err != nil {
+			return nil, fmt.Errorf("client: malformed OK line %q: %w", line, err)
+		}
+		res := &Result{RowsAffected: affected, FromCache: fromCache == 1}
+		if nrows == 0 {
+			return res, nil
+		}
+		cols, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasPrefix(cols, "COLS ") {
+			return nil, fmt.Errorf("client: expected COLS line, got %q", cols)
+		}
+		res.Columns = strings.Split(cols[5:], "\t")
+		for i := 0; i < nrows; i++ {
+			rowLine, err := c.readLine()
+			if err != nil {
+				return nil, err
+			}
+			parts := strings.Split(rowLine, "\t")
+			row := make([]sqlparse.Value, len(parts))
+			for j, p := range parts {
+				v, err := server.DecodeValue(p)
+				if err != nil {
+					return nil, fmt.Errorf("client: row %d: %w", i, err)
+				}
+				row[j] = v
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("client: unexpected response %q", line)
+	}
+}
+
+func (c *Conn) readLine() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("client: read: %w", err)
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}

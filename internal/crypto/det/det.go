@@ -1,0 +1,53 @@
+// Package det implements deterministic encryption (DET) over SQL
+// values, the onion layer CryptDB uses for equality predicates and
+// Seabed uses for join columns. Equal plaintexts produce equal
+// ciphertexts, which is what makes server-side equality work — and what
+// makes the ciphertext column vulnerable to frequency analysis (§6).
+//
+// Ciphertexts are hex strings so they embed directly in rewritten SQL.
+package det
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"snapdb/internal/crypto/prim"
+	"snapdb/internal/sqlparse"
+	"snapdb/internal/storage"
+)
+
+// Scheme is a DET instance bound to one key (callers derive one key per
+// column).
+type Scheme struct {
+	key prim.Key
+}
+
+// New creates a scheme from a column key.
+func New(key prim.Key) *Scheme { return &Scheme{key: key} }
+
+// EncryptValue deterministically encrypts a SQL value.
+func (s *Scheme) EncryptValue(v sqlparse.Value) (string, error) {
+	enc := storage.EncodeRecord(storage.Record{v})
+	ct, err := prim.EncryptDeterministic(s.key, enc)
+	if err != nil {
+		return "", fmt.Errorf("det: %w", err)
+	}
+	return hex.EncodeToString(ct), nil
+}
+
+// DecryptValue reverses EncryptValue.
+func (s *Scheme) DecryptValue(ct string) (sqlparse.Value, error) {
+	raw, err := hex.DecodeString(ct)
+	if err != nil {
+		return sqlparse.Value{}, fmt.Errorf("det: ciphertext is not hex: %w", err)
+	}
+	pt, err := prim.Decrypt(s.key, raw)
+	if err != nil {
+		return sqlparse.Value{}, fmt.Errorf("det: %w", err)
+	}
+	rec, _, err := storage.DecodeRecord(pt)
+	if err != nil || len(rec) != 1 {
+		return sqlparse.Value{}, fmt.Errorf("det: malformed plaintext")
+	}
+	return rec[0], nil
+}

@@ -1,0 +1,106 @@
+package det
+
+import (
+	"testing"
+	"testing/quick"
+
+	"snapdb/internal/crypto/prim"
+	"snapdb/internal/sqlparse"
+)
+
+func TestRoundTrip(t *testing.T) {
+	s := New(prim.TestKey("det"))
+	for _, v := range []sqlparse.Value{
+		sqlparse.IntValue(0), sqlparse.IntValue(-9), sqlparse.IntValue(1 << 40),
+		sqlparse.StrValue(""), sqlparse.StrValue("alice"), sqlparse.StrValue("O'Brien"),
+	} {
+		ct, err := s.EncryptValue(v)
+		if err != nil {
+			t.Fatalf("Encrypt(%v): %v", v, err)
+		}
+		pt, err := s.DecryptValue(ct)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if !pt.Equal(v) {
+			t.Errorf("round trip: got %v want %v", pt, v)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	s := New(prim.TestKey("det"))
+	a, _ := s.EncryptValue(sqlparse.StrValue("same"))
+	b, _ := s.EncryptValue(sqlparse.StrValue("same"))
+	if a != b {
+		t.Error("equal plaintexts encrypted differently")
+	}
+	c, _ := s.EncryptValue(sqlparse.StrValue("other"))
+	if a == c {
+		t.Error("distinct plaintexts encrypted equally")
+	}
+}
+
+func TestIntAndStringDomainsSeparate(t *testing.T) {
+	s := New(prim.TestKey("det"))
+	a, _ := s.EncryptValue(sqlparse.IntValue(5))
+	b, _ := s.EncryptValue(sqlparse.StrValue("5"))
+	if a == b {
+		t.Error("IntValue(5) and StrValue(\"5\") collide")
+	}
+}
+
+func TestKeysIndependent(t *testing.T) {
+	a, _ := New(prim.TestKey("k1")).EncryptValue(sqlparse.StrValue("v"))
+	b, _ := New(prim.TestKey("k2")).EncryptValue(sqlparse.StrValue("v"))
+	if a == b {
+		t.Error("different keys produced equal ciphertexts")
+	}
+}
+
+func TestDecryptRejectsGarbage(t *testing.T) {
+	s := New(prim.TestKey("det"))
+	if _, err := s.DecryptValue("not hex!"); err == nil {
+		t.Error("non-hex accepted")
+	}
+	if _, err := s.DecryptValue("deadbeef"); err == nil {
+		t.Error("short ciphertext accepted")
+	}
+	ct, _ := s.EncryptValue(sqlparse.StrValue("v"))
+	other := New(prim.TestKey("other"))
+	if _, err := other.DecryptValue(ct); err == nil {
+		t.Error("wrong-key decrypt accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	s := New(prim.TestKey("quick"))
+	f := func(n int64, str string, isInt bool) bool {
+		var v sqlparse.Value
+		if isInt {
+			v = sqlparse.IntValue(n)
+		} else {
+			v = sqlparse.StrValue(str)
+		}
+		ct, err := s.EncryptValue(v)
+		if err != nil {
+			return false
+		}
+		pt, err := s.DecryptValue(ct)
+		return err == nil && pt.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	s := New(prim.TestKey("bench"))
+	v := sqlparse.StrValue("benchmark value")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EncryptValue(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package ope implements order-preserving encryption over the 32-bit
+// unsigned integer domain: x < y implies Enc(x) < Enc(y), so the DBMS
+// can evaluate range predicates on ciphertexts directly. This is the
+// OPE onion layer of CryptDB.
+//
+// The construction is a keyed lazy-sampled binary search (in the style
+// of Boldyreva et al.): the ciphertext range [0, 2^63) is recursively
+// split around pseudorandom pivots derived from the key and the domain
+// interval, so the mapping is deterministic, strictly monotone, and
+// stateless. OPE ciphertexts leak order (and approximate magnitude) by
+// construction — the "always leaks" class of PRE the paper discusses.
+package ope
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"snapdb/internal/crypto/prim"
+)
+
+// DomainBits is the plaintext domain size in bits.
+const DomainBits = 32
+
+// rangeBits is the ciphertext range size in bits.
+const rangeBits = 63
+
+// Scheme is an OPE instance bound to one key.
+type Scheme struct {
+	key prim.Key
+}
+
+// New creates a scheme from a column key.
+func New(key prim.Key) *Scheme { return &Scheme{key: key} }
+
+// pivot returns a pseudorandom split of the ciphertext range [rlo, rhi]
+// for the domain interval [dlo, dhi] cut at dmid: the left subrange
+// [rlo, pivot] covers plaintexts [dlo, dmid] and the right subrange
+// (pivot, rhi] covers (dmid, dhi]. The pivot is constrained so each
+// side keeps at least one ciphertext per remaining plaintext, which
+// makes the full mapping injective and strictly monotone.
+func (s *Scheme) pivot(dlo, dmid, dhi, rlo, rhi uint64) uint64 {
+	leftDomain := dmid - dlo + 1
+	rightDomain := dhi - dmid
+	min := rlo + leftDomain - 1
+	max := rhi - rightDomain
+	if max <= min {
+		return min
+	}
+	var buf [32]byte
+	binary.BigEndian.PutUint64(buf[0:], dlo)
+	binary.BigEndian.PutUint64(buf[8:], dhi)
+	binary.BigEndian.PutUint64(buf[16:], rlo)
+	binary.BigEndian.PutUint64(buf[24:], rhi)
+	r := prim.PRF(s.key, buf[:])
+	return min + binary.BigEndian.Uint64(r[:8])%(max-min+1)
+}
+
+// Encrypt maps a 32-bit plaintext to its 63-bit ciphertext.
+func (s *Scheme) Encrypt(x uint32) uint64 {
+	dlo, dhi := uint64(0), uint64(1)<<DomainBits-1
+	rlo, rhi := uint64(0), uint64(1)<<rangeBits-1
+	v := uint64(x)
+	for dlo < dhi {
+		dmid := dlo + (dhi-dlo)/2
+		rmid := s.pivot(dlo, dmid, dhi, rlo, rhi)
+		if v <= dmid {
+			dhi = dmid
+			rhi = rmid
+		} else {
+			dlo = dmid + 1
+			rlo = rmid + 1
+		}
+	}
+	return rlo
+}
+
+// Decrypt recovers the plaintext from a ciphertext produced by Encrypt.
+func (s *Scheme) Decrypt(c uint64) (uint32, error) {
+	dlo, dhi := uint64(0), uint64(1)<<DomainBits-1
+	rlo, rhi := uint64(0), uint64(1)<<rangeBits-1
+	for dlo < dhi {
+		dmid := dlo + (dhi-dlo)/2
+		rmid := s.pivot(dlo, dmid, dhi, rlo, rhi)
+		if c <= rmid {
+			dhi = dmid
+			rhi = rmid
+		} else {
+			dlo = dmid + 1
+			rlo = rmid + 1
+		}
+	}
+	if s.Encrypt(uint32(dlo)) != c {
+		return 0, fmt.Errorf("ope: %d is not a valid ciphertext", c)
+	}
+	return uint32(dlo), nil
+}

@@ -1,0 +1,119 @@
+package ope
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"snapdb/internal/crypto/prim"
+)
+
+func TestOrderPreserved(t *testing.T) {
+	s := New(prim.TestKey("ope"))
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		x, y := rng.Uint32(), rng.Uint32()
+		cx, cy := s.Encrypt(x), s.Encrypt(y)
+		switch {
+		case x < y && cx >= cy:
+			t.Fatalf("order violated: Enc(%d)=%d >= Enc(%d)=%d", x, cx, y, cy)
+		case x > y && cx <= cy:
+			t.Fatalf("order violated: Enc(%d)=%d <= Enc(%d)=%d", x, cx, y, cy)
+		case x == y && cx != cy:
+			t.Fatalf("determinism violated at %d", x)
+		}
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	s := New(prim.TestKey("ope"))
+	lo := s.Encrypt(0)
+	hi := s.Encrypt(1<<32 - 1)
+	if lo >= hi {
+		t.Errorf("Enc(0)=%d >= Enc(max)=%d", lo, hi)
+	}
+	if hi >= 1<<63 {
+		t.Errorf("ciphertext %d exceeds the 63-bit range", hi)
+	}
+}
+
+func TestAdjacentValuesDistinct(t *testing.T) {
+	s := New(prim.TestKey("ope"))
+	for _, x := range []uint32{0, 1, 1000, 1 << 20, 1<<32 - 2} {
+		if s.Encrypt(x) >= s.Encrypt(x+1) {
+			t.Errorf("Enc(%d) >= Enc(%d)", x, x+1)
+		}
+	}
+}
+
+func TestDecryptRoundTrip(t *testing.T) {
+	s := New(prim.TestKey("ope"))
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		x := rng.Uint32()
+		pt, err := s.Decrypt(s.Encrypt(x))
+		if err != nil {
+			t.Fatalf("Decrypt(Enc(%d)): %v", x, err)
+		}
+		if pt != x {
+			t.Fatalf("round trip: got %d want %d", pt, x)
+		}
+	}
+}
+
+func TestDecryptRejectsNonCiphertext(t *testing.T) {
+	s := New(prim.TestKey("ope"))
+	c := s.Encrypt(12345)
+	// A value strictly between two ciphertexts is invalid with high
+	// probability; try a few offsets until one is not a valid ct.
+	rejected := false
+	for off := uint64(1); off < 64; off++ {
+		if _, err := s.Decrypt(c + off); err != nil {
+			rejected = true
+			break
+		}
+	}
+	if !rejected {
+		t.Error("no nearby non-ciphertext was rejected; Decrypt is not validating")
+	}
+}
+
+func TestKeysProduceDifferentMappings(t *testing.T) {
+	a := New(prim.TestKey("ka"))
+	b := New(prim.TestKey("kb"))
+	same := 0
+	for x := uint32(0); x < 64; x++ {
+		if a.Encrypt(x) == b.Encrypt(x) {
+			same++
+		}
+	}
+	if same > 4 {
+		t.Errorf("%d/64 ciphertexts identical across keys", same)
+	}
+}
+
+func TestQuickMonotone(t *testing.T) {
+	s := New(prim.TestKey("quick"))
+	f := func(x, y uint32) bool {
+		cx, cy := s.Encrypt(x), s.Encrypt(y)
+		switch {
+		case x < y:
+			return cx < cy
+		case x > y:
+			return cx > cy
+		default:
+			return cx == cy
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	s := New(prim.TestKey("bench"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Encrypt(uint32(i))
+	}
+}

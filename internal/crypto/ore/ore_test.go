@@ -1,0 +1,214 @@
+package ore
+
+import (
+	"crypto/rand"
+	"math/bits"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"snapdb/internal/crypto/prim"
+)
+
+func nonce(t testing.TB) []byte {
+	t.Helper()
+	n := make([]byte, 16)
+	if _, err := rand.Read(n); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewRejectsBadBlockSize(t *testing.T) {
+	for _, d := range []int{0, 3, 5, 7, 32, -1} {
+		if _, err := New(prim.TestKey("k"), d); err == nil {
+			t.Errorf("block size %d accepted", d)
+		}
+	}
+}
+
+func TestCompareCorrectness(t *testing.T) {
+	for _, d := range []int{1, 2, 4, 8} {
+		s, err := New(prim.TestKey("ore"), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases := []struct{ x, y uint32 }{
+			{0, 0}, {0, 1}, {1, 0}, {7, 7},
+			{100, 200}, {1 << 31, 1<<31 - 1}, {0xFFFFFFFF, 0xFFFFFFFF},
+			{0xFFFFFFFF, 0}, {12345, 12345},
+		}
+		for _, c := range cases {
+			l := s.EncryptLeft(c.x)
+			r := s.EncryptRight(c.y, nonce(t))
+			order, _, err := s.Compare(l, r)
+			if err != nil {
+				t.Fatalf("d=%d Compare(%d, %d): %v", d, c.x, c.y, err)
+			}
+			want := 0
+			if c.x < c.y {
+				want = -1
+			} else if c.x > c.y {
+				want = 1
+			}
+			if order != want {
+				t.Errorf("d=%d Compare(%d, %d) = %d, want %d", d, c.x, c.y, order, want)
+			}
+		}
+	}
+}
+
+func TestCompareLeaksFirstDiffBlock(t *testing.T) {
+	s, err := New(prim.TestKey("ore"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x and y agree on the top 10 bits, differ at bit 10 (0-indexed).
+	x := uint32(0b1010_1010_10_1_000000000000000000000)
+	y := uint32(0b1010_1010_10_0_000000000000000000000)
+	l := s.EncryptLeft(x)
+	r := s.EncryptRight(y, nonce(t))
+	order, diff, err := s.Compare(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order != 1 {
+		t.Errorf("order = %d", order)
+	}
+	if diff != 10 {
+		t.Errorf("first diff block = %d, want 10", diff)
+	}
+}
+
+func TestEqualValuesLeakNumBlocks(t *testing.T) {
+	s, _ := New(prim.TestKey("ore"), 4)
+	l := s.EncryptLeft(99)
+	r := s.EncryptRight(99, nonce(t))
+	order, diff, err := s.Compare(l, r)
+	if err != nil || order != 0 {
+		t.Fatalf("order=%d err=%v", order, err)
+	}
+	if diff != s.NumBlocks() {
+		t.Errorf("diff = %d, want %d", diff, s.NumBlocks())
+	}
+}
+
+func TestCompareMatchesAnalyticLeakage(t *testing.T) {
+	s, _ := New(prim.TestKey("ore"), 1)
+	rng := mrand.New(mrand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		x, y := rng.Uint32(), rng.Uint32()
+		l := s.EncryptLeft(x)
+		r := s.EncryptRight(y, nonce(t))
+		_, diff, err := s.Compare(l, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := s.FirstDiffBlock(x, y); diff != want {
+			t.Fatalf("Compare leak %d != analytic %d for (%#x, %#x)", diff, want, x, y)
+		}
+	}
+}
+
+func TestFirstDiffBlockBitBlocks(t *testing.T) {
+	s, _ := New(prim.TestKey("ore"), 1)
+	f := func(x, y uint32) bool {
+		got := s.FirstDiffBlock(x, y)
+		if x == y {
+			return got == 32
+		}
+		// For 1-bit blocks, first diff = number of leading common bits.
+		want := bits.LeadingZeros32(x ^ y)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMismatchedKeysFail(t *testing.T) {
+	s1, _ := New(prim.TestKey("a"), 1)
+	s2, _ := New(prim.TestKey("b"), 1)
+	l := s1.EncryptLeft(5)
+	r := s2.EncryptRight(5, nonce(t))
+	if _, _, err := s1.Compare(l, r); err == nil {
+		t.Error("cross-key comparison succeeded")
+	}
+}
+
+func TestMismatchedBlockCountFails(t *testing.T) {
+	s1, _ := New(prim.TestKey("a"), 1)
+	s8, _ := New(prim.TestKey("a"), 8)
+	l := s1.EncryptLeft(5)
+	r := s8.EncryptRight(5, nonce(t))
+	if _, _, err := s8.Compare(l, r); err == nil {
+		t.Error("mismatched block structure accepted")
+	}
+}
+
+func TestRightCiphertextHidesValueWithoutToken(t *testing.T) {
+	// Two right ciphertexts of the same value with different nonces must
+	// differ (the scheme is not deterministic, unlike the one attacked
+	// in the Grubbs et al. S&P'17 paper).
+	s, _ := New(prim.TestKey("ore"), 1)
+	r1 := s.EncryptRight(7, nonce(t))
+	r2 := s.EncryptRight(7, nonce(t))
+	same := true
+	for i := range r1.Tables {
+		for tag, v := range r1.Tables[i] {
+			if v2, ok := r2.Tables[i][tag]; !ok || v2 != v {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("right ciphertexts of equal plaintexts are identical across nonces")
+	}
+}
+
+func TestQuickCompareOrder(t *testing.T) {
+	s, _ := New(prim.TestKey("quick"), 4)
+	n := nonce(t)
+	f := func(x, y uint32) bool {
+		l := s.EncryptLeft(x)
+		r := s.EncryptRight(y, n)
+		order, _, err := s.Compare(l, r)
+		if err != nil {
+			return false
+		}
+		switch {
+		case x < y:
+			return order == -1
+		case x > y:
+			return order == 1
+		default:
+			return order == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncryptRightBlock1(b *testing.B) {
+	s, _ := New(prim.TestKey("bench"), 1)
+	n := make([]byte, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.EncryptRight(uint32(i), n)
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	s, _ := New(prim.TestKey("bench"), 1)
+	n := make([]byte, 16)
+	l := s.EncryptLeft(123456)
+	r := s.EncryptRight(654321, n)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Compare(l, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package prim
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	k := TestKey("roundtrip")
+	for _, msg := range [][]byte{nil, {}, []byte("a"), []byte("hello world"), bytes.Repeat([]byte{0xAB}, 4096)} {
+		ct, err := Encrypt(k, msg)
+		if err != nil {
+			t.Fatalf("Encrypt(%d bytes): %v", len(msg), err)
+		}
+		pt, err := Decrypt(k, ct)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if !bytes.Equal(pt, msg) {
+			t.Errorf("round trip mismatch: got %q want %q", pt, msg)
+		}
+	}
+}
+
+func TestEncryptIsRandomized(t *testing.T) {
+	k := TestKey("rand")
+	msg := []byte("same plaintext")
+	a, err := Encrypt(k, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encrypt(k, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("two randomized encryptions of the same plaintext are identical")
+	}
+}
+
+func TestEncryptDeterministicIsDeterministic(t *testing.T) {
+	k := TestKey("det")
+	msg := []byte("same plaintext")
+	a, err := EncryptDeterministic(k, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncryptDeterministic(k, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("deterministic encryption produced differing ciphertexts")
+	}
+	other, err := EncryptDeterministic(k, []byte("other plaintext!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, other) {
+		t.Error("distinct plaintexts produced identical deterministic ciphertexts")
+	}
+	pt, err := Decrypt(k, a)
+	if err != nil {
+		t.Fatalf("Decrypt deterministic: %v", err)
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Errorf("deterministic round trip mismatch: got %q", pt)
+	}
+}
+
+func TestDecryptRejectsTamper(t *testing.T) {
+	k := TestKey("tamper")
+	ct, err := Encrypt(k, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{0, ivSize, len(ct) - 1} {
+		bad := append([]byte(nil), ct...)
+		bad[idx] ^= 0x01
+		if _, err := Decrypt(k, bad); err == nil {
+			t.Errorf("tampered byte %d accepted", idx)
+		}
+	}
+}
+
+func TestDecryptRejectsWrongKey(t *testing.T) {
+	ct, err := Encrypt(TestKey("k1"), []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decrypt(TestKey("k2"), ct); err == nil {
+		t.Error("wrong key accepted")
+	}
+}
+
+func TestDecryptRejectsShortCiphertext(t *testing.T) {
+	if _, err := Decrypt(TestKey("k"), make([]byte, ivSize+31)); err == nil {
+		t.Error("short ciphertext accepted")
+	}
+}
+
+func TestDeriveDistinctLabels(t *testing.T) {
+	k := TestKey("derive")
+	a := Derive(k, "label-a")
+	b := Derive(k, "label-b")
+	if a == b {
+		t.Error("distinct labels derived equal keys")
+	}
+	if a == k || b == k {
+		t.Error("derived key equals parent key")
+	}
+	if Derive(k, "label-a") != a {
+		t.Error("Derive is not deterministic")
+	}
+}
+
+func TestKeyFromBytes(t *testing.T) {
+	if _, err := KeyFromBytes(make([]byte, 16)); err == nil {
+		t.Error("16-byte key accepted")
+	}
+	raw := bytes.Repeat([]byte{7}, KeySize)
+	k, err := KeyFromBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k[:], raw) {
+		t.Error("key bytes not preserved")
+	}
+}
+
+func TestPRFUint64Distinct(t *testing.T) {
+	k := TestKey("prf64")
+	seen := make(map[uint64]uint64)
+	for v := uint64(0); v < 1000; v++ {
+		out := PRFUint64(k, v)
+		if prev, dup := seen[out]; dup {
+			t.Fatalf("PRFUint64 collision between inputs %d and %d", prev, v)
+		}
+		seen[out] = v
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	k := TestKey("quick")
+	f := func(msg []byte) bool {
+		ct, err := Encrypt(k, msg)
+		if err != nil {
+			return false
+		}
+		pt, err := Decrypt(k, ct)
+		return err == nil && bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCiphertextLength(t *testing.T) {
+	k := TestKey("quicklen")
+	f := func(msg []byte) bool {
+		ct, err := Encrypt(k, msg)
+		return err == nil && len(ct) == len(msg)+CiphertextOverhead
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncrypt1K(b *testing.B) {
+	k := TestKey("bench")
+	msg := bytes.Repeat([]byte{0x42}, 1024)
+	b.SetBytes(int64(len(msg)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encrypt(k, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPRF(b *testing.B) {
+	k := TestKey("benchprf")
+	msg := []byte("SELECT * FROM customers WHERE state='IN'")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PRF(k, msg)
+	}
+}

@@ -1,0 +1,172 @@
+// Package splashe implements Seabed's SPLASHE column splitting, which
+// tries to defeat frequency analysis on filter columns.
+//
+// Basic SPLASHE gives every plaintext value in the column's domain a
+// dedicated ASHE-encrypted 0/1 column: a row with value v stores
+// Enc(1) in v's column and Enc(0) in the others, so
+// "COUNT(*) WHERE a = v" rewrites to "SUM(ashe(col_v))" and the stored
+// data is semantically secure.
+//
+// Enhanced SPLASHE saves space by giving dedicated columns only to the
+// top-k frequent values; the long tail shares one deterministic-
+// encryption column padded with dummies. §6 of the paper shows both
+// variants still leak: the digest table counts queries per rewritten
+// column (basic), and the DET tail column is directly frequency-
+// analyzable (enhanced).
+package splashe
+
+import (
+	"fmt"
+	"sort"
+
+	"snapdb/internal/crypto/ashe"
+	"snapdb/internal/crypto/det"
+	"snapdb/internal/crypto/prim"
+	"snapdb/internal/sqlparse"
+)
+
+// Plan describes how one plaintext column is split.
+type Plan struct {
+	Column    string
+	Dedicated []string // plaintext values with dedicated ASHE columns
+	colOf     map[string]int
+	HasTail   bool // enhanced SPLASHE: a shared DET column for the rest
+}
+
+// NewPlan builds a basic-SPLASHE plan covering the whole domain.
+func NewPlan(column string, domain []string) *Plan {
+	p := &Plan{Column: column, Dedicated: append([]string(nil), domain...)}
+	sort.Strings(p.Dedicated)
+	p.index()
+	return p
+}
+
+// NewEnhancedPlan builds an enhanced plan: values in frequent get
+// dedicated columns; everything else shares the DET tail column.
+func NewEnhancedPlan(column string, frequent []string) *Plan {
+	p := NewPlan(column, frequent)
+	p.HasTail = true
+	return p
+}
+
+func (p *Plan) index() {
+	p.colOf = make(map[string]int, len(p.Dedicated))
+	for i, v := range p.Dedicated {
+		p.colOf[v] = i
+	}
+}
+
+// NumColumns returns the number of ciphertext columns the plan creates
+// (dedicated ASHE columns plus the tail, if any).
+func (p *Plan) NumColumns() int {
+	n := len(p.Dedicated)
+	if p.HasTail {
+		n++
+	}
+	return n
+}
+
+// ColumnName returns the schema name of dedicated column i (the paper's
+// "c3"-style names).
+func (p *Plan) ColumnName(i int) string { return fmt.Sprintf("%s_c%d", p.Column, i) }
+
+// TailColumnName returns the shared DET column's name.
+func (p *Plan) TailColumnName() string { return p.Column + "_tail" }
+
+// ColumnFor resolves a plaintext value to its dedicated column index,
+// or (-1, false) if the value routes to the tail (or is unknown under
+// basic SPLASHE).
+func (p *Plan) ColumnFor(value string) (int, bool) {
+	i, ok := p.colOf[value]
+	return i, ok
+}
+
+// Encryptor encrypts rows under a plan.
+type Encryptor struct {
+	plan *Plan
+	cols []*ashe.Scheme
+	tail *det.Scheme
+}
+
+// NewEncryptor derives per-column keys from the root key.
+func NewEncryptor(root prim.Key, plan *Plan) *Encryptor {
+	e := &Encryptor{plan: plan}
+	for i := range plan.Dedicated {
+		e.cols = append(e.cols, ashe.New(prim.Derive(root, "splashe:"+plan.ColumnName(i))))
+	}
+	if plan.HasTail {
+		e.tail = det.New(prim.Derive(root, "splashe-tail:"+plan.Column))
+	}
+	return e
+}
+
+// EncryptedRow is one row's ciphertexts for the split column.
+type EncryptedRow struct {
+	Dedicated []uint64 // one ASHE ciphertext per dedicated column
+	Tail      string   // DET ciphertext ("" when the value had a column)
+}
+
+// EncryptRow encrypts value for the row with the given id (ids start
+// at 1, contiguous per table, as ASHE requires).
+func (e *Encryptor) EncryptRow(id uint64, value string) (EncryptedRow, error) {
+	row := EncryptedRow{Dedicated: make([]uint64, len(e.cols))}
+	idx, dedicated := e.plan.ColumnFor(value)
+	if !dedicated && !e.plan.HasTail {
+		return row, fmt.Errorf("splashe: value %q outside the planned domain", value)
+	}
+	for i, col := range e.cols {
+		bit := uint64(0)
+		if dedicated && i == idx {
+			bit = 1
+		}
+		ct, err := col.Encrypt(id, bit)
+		if err != nil {
+			return row, err
+		}
+		row.Dedicated[i] = ct
+	}
+	if e.plan.HasTail {
+		v := value
+		if dedicated {
+			// Pad the tail with a dummy so dedicated-value rows are
+			// indistinguishable in the tail column.
+			v = "\x00dummy"
+		}
+		ct, err := e.tail.EncryptValue(sqlparse.StrValue(v))
+		if err != nil {
+			return row, err
+		}
+		row.Tail = ct
+	}
+	return row, nil
+}
+
+// CountQueryRewrite rewrites "COUNT(*) WHERE column = value" into the
+// dedicated-column aggregation the server evaluates, returning the
+// ciphertext column name. Queries for tail values return ok = false
+// (they are answered through the DET tail column instead).
+func (e *Encryptor) CountQueryRewrite(value string) (column string, ok bool) {
+	idx, dedicated := e.plan.ColumnFor(value)
+	if !dedicated {
+		return "", false
+	}
+	return e.plan.ColumnName(idx), true
+}
+
+// TailTokenFor returns the DET ciphertext used as the equality literal
+// for a tail value (enhanced SPLASHE only).
+func (e *Encryptor) TailTokenFor(value string) (string, error) {
+	if e.tail == nil {
+		return "", fmt.Errorf("splashe: plan has no tail column")
+	}
+	return e.tail.EncryptValue(sqlparse.StrValue(value))
+}
+
+// DecryptCount strips the ASHE boundary pads from a server-computed sum
+// over dedicated column i for contiguous row ids [a, b].
+func (e *Encryptor) DecryptCount(i int, sum uint64, a, b uint64) (uint64, error) {
+	if i < 0 || i >= len(e.cols) {
+		return 0, fmt.Errorf("splashe: column %d out of range", i)
+	}
+	return e.cols[i].AggregateDecrypt(sum, a, b)
+}

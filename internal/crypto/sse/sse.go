@@ -1,0 +1,116 @@
+// Package sse implements a searchable symmetric encryption scheme in
+// the style of Song-Wagner-Perrig (the construction underlying CryptDB
+// and Mylar's search): the client derives a deterministic token from a
+// keyword, and the server tests each document's searchable ciphertexts
+// against the token.
+//
+// Semantic security holds only while the adversary has no tokens: as §6
+// of the paper explains, a single token recovered from a snapshot lets
+// the attacker re-run the search and learn which documents match. The
+// result *count* then feeds the count attack (attacks/leakabuse).
+package sse
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"snapdb/internal/crypto/prim"
+)
+
+// Token is the search trapdoor for one keyword.
+type Token [32]byte
+
+// Scheme is an SSE instance bound to one key.
+type Scheme struct {
+	key prim.Key
+}
+
+// New creates a scheme.
+func New(key prim.Key) *Scheme { return &Scheme{key: key} }
+
+// TokenFor derives the search token for a keyword. Deterministic: the
+// same keyword always yields the same token, which is what makes tokens
+// found in logs/heap reusable by an attacker.
+func (s *Scheme) TokenFor(keyword string) Token {
+	return Token(prim.PRFString(s.key, keyword))
+}
+
+// SearchableCiphertext is the per-(document, keyword) value stored by
+// the server: salt || HMAC(token, salt).
+type SearchableCiphertext struct {
+	Salt [16]byte
+	MAC  [32]byte
+}
+
+// EncryptKeyword produces the searchable ciphertext binding keyword to
+// a document.
+func (s *Scheme) EncryptKeyword(keyword string) (SearchableCiphertext, error) {
+	var ct SearchableCiphertext
+	if _, err := rand.Read(ct.Salt[:]); err != nil {
+		return ct, fmt.Errorf("sse: sampling salt: %w", err)
+	}
+	tok := s.TokenFor(keyword)
+	ct.MAC = bind(tok, ct.Salt)
+	return ct, nil
+}
+
+func bind(tok Token, salt [16]byte) [32]byte {
+	h := hmac.New(sha256.New, tok[:])
+	h.Write(salt[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Matches tests a searchable ciphertext against a token. Anyone holding
+// the token — client or snapshot attacker — can run this.
+func Matches(tok Token, ct SearchableCiphertext) bool {
+	want := bind(tok, ct.Salt)
+	return hmac.Equal(want[:], ct.MAC[:])
+}
+
+// Index is the server-side searchable index: per document, the
+// searchable ciphertexts of its keywords.
+type Index struct {
+	docs map[int][]SearchableCiphertext
+}
+
+// NewIndex creates an empty index.
+func NewIndex() *Index { return &Index{docs: make(map[int][]SearchableCiphertext)} }
+
+// AddDocument indexes a document's keywords.
+func (ix *Index) AddDocument(s *Scheme, docID int, keywords []string) error {
+	cts := make([]SearchableCiphertext, 0, len(keywords))
+	for _, w := range keywords {
+		ct, err := s.EncryptKeyword(w)
+		if err != nil {
+			return err
+		}
+		cts = append(cts, ct)
+	}
+	ix.docs[docID] = append(ix.docs[docID], cts...)
+	return nil
+}
+
+// NumDocuments returns the number of indexed documents.
+func (ix *Index) NumDocuments() int { return len(ix.docs) }
+
+// Search returns the ids of documents containing the token's keyword,
+// in ascending order. This is exactly the computation a snapshot
+// attacker replays with a recovered token.
+func (ix *Index) Search(tok Token) []int {
+	var out []int
+	for id, cts := range ix.docs {
+		for _, ct := range cts {
+			if Matches(tok, ct) {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}

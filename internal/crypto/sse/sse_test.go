@@ -1,0 +1,115 @@
+package sse
+
+import (
+	"testing"
+
+	"snapdb/internal/crypto/prim"
+)
+
+func TestTokenDeterministic(t *testing.T) {
+	s := New(prim.TestKey("sse"))
+	if s.TokenFor("medical") != s.TokenFor("medical") {
+		t.Error("token not deterministic")
+	}
+	if s.TokenFor("medical") == s.TokenFor("legal") {
+		t.Error("distinct keywords share a token")
+	}
+}
+
+func TestMatches(t *testing.T) {
+	s := New(prim.TestKey("sse"))
+	ct, err := s.EncryptKeyword("confidential")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Matches(s.TokenFor("confidential"), ct) {
+		t.Error("matching token rejected")
+	}
+	if Matches(s.TokenFor("public"), ct) {
+		t.Error("non-matching token accepted")
+	}
+}
+
+func TestCiphertextsRandomized(t *testing.T) {
+	s := New(prim.TestKey("sse"))
+	a, _ := s.EncryptKeyword("w")
+	b, _ := s.EncryptKeyword("w")
+	if a.Salt == b.Salt {
+		t.Error("salts repeat")
+	}
+	if a.MAC == b.MAC {
+		t.Error("ciphertexts of the same keyword are identical (must be randomized)")
+	}
+}
+
+func TestIndexSearch(t *testing.T) {
+	s := New(prim.TestKey("sse"))
+	ix := NewIndex()
+	docs := map[int][]string{
+		1: {"alpha", "beta"},
+		2: {"beta", "gamma"},
+		3: {"gamma"},
+	}
+	for id, kws := range docs {
+		if err := ix.AddDocument(s, id, kws); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.NumDocuments() != 3 {
+		t.Fatalf("docs = %d", ix.NumDocuments())
+	}
+	got := ix.Search(s.TokenFor("beta"))
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Search(beta) = %v", got)
+	}
+	if got := ix.Search(s.TokenFor("delta")); len(got) != 0 {
+		t.Errorf("Search(delta) = %v", got)
+	}
+}
+
+func TestSearchWithStolenTokenNeedsNoKey(t *testing.T) {
+	// The attack surface: a token recovered from a snapshot works
+	// without the scheme or its key.
+	s := New(prim.TestKey("sse"))
+	ix := NewIndex()
+	if err := ix.AddDocument(s, 7, []string{"secret-term"}); err != nil {
+		t.Fatal(err)
+	}
+	stolen := s.TokenFor("secret-term") // found in heap/logs
+	got := ix.Search(stolen)            // no *Scheme needed
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("stolen token search = %v", got)
+	}
+}
+
+func TestDuplicateKeywordInDocument(t *testing.T) {
+	s := New(prim.TestKey("sse"))
+	ix := NewIndex()
+	if err := ix.AddDocument(s, 1, []string{"w", "w"}); err != nil {
+		t.Fatal(err)
+	}
+	got := ix.Search(s.TokenFor("w"))
+	if len(got) != 1 {
+		t.Errorf("duplicate keyword produced %v", got)
+	}
+}
+
+func BenchmarkSearch1000Docs(b *testing.B) {
+	s := New(prim.TestKey("bench"))
+	ix := NewIndex()
+	for i := 0; i < 1000; i++ {
+		kw := "common"
+		if i%10 == 0 {
+			kw = "rare"
+		}
+		if err := ix.AddDocument(s, i, []string{kw}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tok := s.TokenFor("rare")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Search(tok)
+	}
+}

@@ -1,0 +1,133 @@
+// Package dblog implements the engine's text query logs: the general
+// query log (every statement, including SELECT — rarely enabled in
+// production because of its size) and the slow query log (statements
+// whose execution exceeded a threshold — commonly enabled). §3 of the
+// paper identifies both as disk-resident sources of past read queries.
+package dblog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Entry is one logged statement.
+type Entry struct {
+	Timestamp int64         // UNIX seconds
+	Session   int           // connection id
+	Duration  time.Duration // execution time (slow log only; 0 in general log)
+	Statement string
+}
+
+// GeneralLog records every statement when enabled. Disabled by default,
+// like MySQL's general_log.
+type GeneralLog struct {
+	mu      sync.Mutex
+	Enabled bool
+	entries []Entry
+}
+
+// NewGeneralLog returns a disabled general log.
+func NewGeneralLog() *GeneralLog { return &GeneralLog{} }
+
+// Record logs a statement if the log is enabled.
+func (g *GeneralLog) Record(e Entry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.Enabled {
+		return
+	}
+	g.entries = append(g.entries, e)
+}
+
+// Entries returns all logged statements.
+func (g *GeneralLog) Entries() []Entry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Entry, len(g.entries))
+	copy(out, g.entries)
+	return out
+}
+
+// SlowLog records statements slower than Threshold. Enabled by default,
+// mirroring common production MySQL configuration.
+type SlowLog struct {
+	mu        sync.Mutex
+	Enabled   bool
+	Threshold time.Duration
+	entries   []Entry
+}
+
+// DefaultSlowThreshold mirrors MySQL's long_query_time default scaled to
+// the simulator's synthetic clock.
+const DefaultSlowThreshold = 100 * time.Millisecond
+
+// NewSlowLog returns an enabled slow log with the default threshold.
+func NewSlowLog() *SlowLog {
+	return &SlowLog{Enabled: true, Threshold: DefaultSlowThreshold}
+}
+
+// Record logs the statement if it exceeded the threshold.
+func (s *SlowLog) Record(e Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.Enabled || e.Duration < s.Threshold {
+		return
+	}
+	s.entries = append(s.entries, e)
+}
+
+// Entries returns all logged slow statements.
+func (s *SlowLog) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, len(s.entries))
+	copy(out, s.entries)
+	return out
+}
+
+// Render formats entries the way the on-disk log file looks; Parse
+// reverses it. One entry per line:
+//
+//	<ts>\t<session>\t<micros>\t<statement>
+func Render(entries []Entry) string {
+	var sb strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&sb, "%d\t%d\t%d\t%s\n", e.Timestamp, e.Session, e.Duration.Microseconds(), e.Statement)
+	}
+	return sb.String()
+}
+
+// Parse decodes a Render image.
+func Parse(text string) ([]Entry, error) {
+	var out []Entry
+	for lineNo, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("dblog: malformed line %d: %q", lineNo+1, line)
+		}
+		var ts int64
+		var sess int
+		var micros int64
+		if _, err := fmt.Sscanf(parts[0], "%d", &ts); err != nil {
+			return nil, fmt.Errorf("dblog: line %d timestamp: %w", lineNo+1, err)
+		}
+		if _, err := fmt.Sscanf(parts[1], "%d", &sess); err != nil {
+			return nil, fmt.Errorf("dblog: line %d session: %w", lineNo+1, err)
+		}
+		if _, err := fmt.Sscanf(parts[2], "%d", &micros); err != nil {
+			return nil, fmt.Errorf("dblog: line %d duration: %w", lineNo+1, err)
+		}
+		out = append(out, Entry{
+			Timestamp: ts,
+			Session:   sess,
+			Duration:  time.Duration(micros) * time.Microsecond,
+			Statement: parts[3],
+		})
+	}
+	return out, nil
+}

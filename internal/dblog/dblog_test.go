@@ -1,0 +1,80 @@
+package dblog
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGeneralLogDisabledByDefault(t *testing.T) {
+	g := NewGeneralLog()
+	g.Record(Entry{Timestamp: 1, Statement: "SELECT 1"})
+	if len(g.Entries()) != 0 {
+		t.Error("disabled general log recorded an entry")
+	}
+	g.Enabled = true
+	g.Record(Entry{Timestamp: 2, Statement: "SELECT 2"})
+	if len(g.Entries()) != 1 {
+		t.Error("enabled general log did not record")
+	}
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	s := NewSlowLog()
+	s.Record(Entry{Duration: 10 * time.Millisecond, Statement: "fast"})
+	s.Record(Entry{Duration: 500 * time.Millisecond, Statement: "slow"})
+	entries := s.Entries()
+	if len(entries) != 1 || entries[0].Statement != "slow" {
+		t.Errorf("entries = %+v", entries)
+	}
+	s.Enabled = false
+	s.Record(Entry{Duration: time.Second, Statement: "ignored"})
+	if len(s.Entries()) != 1 {
+		t.Error("disabled slow log recorded")
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Timestamp: 1000, Session: 3, Duration: 150 * time.Millisecond, Statement: "SELECT * FROM t WHERE a = 1"},
+		{Timestamp: 1001, Session: 4, Duration: 0, Statement: "INSERT INTO t (a) VALUES (2)"},
+	}
+	got, err := Parse(Render(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d entries", len(got))
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := Parse("not a log line\n"); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := Parse("abc\t1\t2\tSELECT 1\n"); err == nil {
+		t.Error("bad timestamp accepted")
+	}
+}
+
+func TestParseEmptyAndBlankLines(t *testing.T) {
+	got, err := Parse("\n\n")
+	if err != nil || len(got) != 0 {
+		t.Errorf("blank input: %d entries, err=%v", len(got), err)
+	}
+}
+
+func TestParsePreservesTabsInStatement(t *testing.T) {
+	in := []Entry{{Timestamp: 1, Session: 1, Duration: 0, Statement: "SELECT\t'tabbed'"}}
+	got, err := Parse(Render(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Statement != "SELECT\t'tabbed'" {
+		t.Errorf("statement = %q", got[0].Statement)
+	}
+}

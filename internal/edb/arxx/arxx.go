@@ -1,0 +1,228 @@
+// Package arxx implements an Arx-style encrypted range index over the
+// snapdb engine: a treap whose nodes hold semantically secure
+// (randomized) encryptions of the indexed values. Range queries walk
+// the treap; each traversed node's comparison "consumes" it (in real
+// Arx, the node's garbled circuit can be evaluated once), and the
+// client must immediately repair it by writing a fresh encryption over
+// the node's row.
+//
+// At rest the index is semantically secure — Arx's snapshot-security
+// claim. But §6 of the paper observes that the repair writes are
+// perfectly correlated with the reads: every range query leaves one
+// UPDATE per traversed node in the engine's transaction logs, so a
+// disk snapshot contains a transcript of every range query — traversal
+// paths, per-node visit frequencies, and the rank of each query
+// endpoint.
+package arxx
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"snapdb/internal/crypto/prim"
+	"snapdb/internal/engine"
+	"snapdb/internal/sqlparse"
+)
+
+// node is the client-side view of one treap node. Arx's client is
+// stateless in the real system (structure lives server-side); we keep
+// the structure mirrored client-side for traversal while the
+// authoritative encrypted payloads live in the engine table.
+type node struct {
+	id          int
+	value       uint32
+	priority    uint64
+	left, right *node
+}
+
+// Index is an Arx-style encrypted range index.
+type Index struct {
+	name  string
+	key   prim.Key
+	sess  *engine.Session
+	root  *node
+	byID  map[int]*node
+	nextN int
+
+	repairs uint64 // total repair writes issued
+}
+
+// New creates the index's backing table.
+func New(e *engine.Engine, root prim.Key, name string) (*Index, error) {
+	ix := &Index{
+		name: name,
+		key:  prim.Derive(root, "arx:"+name),
+		sess: e.Connect("arxx"),
+		byID: make(map[int]*node),
+	}
+	q := fmt.Sprintf("CREATE TABLE %s (nid INT PRIMARY KEY, enc TEXT)", name)
+	if _, err := ix.sess.Execute(q); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// encryptValue produces a fresh randomized encryption of v.
+func (ix *Index) encryptValue(v uint32) (string, error) {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	ct, err := prim.Encrypt(ix.key, buf[:])
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(ct), nil
+}
+
+// Insert adds a value to the index. Duplicate values are allowed (each
+// gets its own node, as in a multiset index).
+func (ix *Index) Insert(v uint32) error {
+	ix.nextN++
+	n := &node{
+		id:       ix.nextN,
+		value:    v,
+		priority: prim.PRFUint64(prim.Derive(ix.key, "prio"), uint64(ix.nextN)),
+	}
+	ct, err := ix.encryptValue(v)
+	if err != nil {
+		return err
+	}
+	q := fmt.Sprintf("INSERT INTO %s (nid, enc) VALUES (%d, %s)", ix.name, n.id, sqlparse.StrValue(ct).SQL())
+	if _, err := ix.sess.Execute(q); err != nil {
+		return err
+	}
+	ix.root = treapInsert(ix.root, n)
+	ix.byID[n.id] = n
+	return nil
+}
+
+// treapInsert is a standard treap insertion by (value, priority).
+func treapInsert(root, n *node) *node {
+	if root == nil {
+		return n
+	}
+	if n.value < root.value {
+		root.left = treapInsert(root.left, n)
+		if root.left.priority > root.priority {
+			root = rotateRight(root)
+		}
+	} else {
+		root.right = treapInsert(root.right, n)
+		if root.right.priority > root.priority {
+			root = rotateLeft(root)
+		}
+	}
+	return root
+}
+
+func rotateRight(y *node) *node {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	return x
+}
+
+func rotateLeft(x *node) *node {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	return y
+}
+
+// Len returns the number of indexed values.
+func (ix *Index) Len() int { return len(ix.byID) }
+
+// Repairs returns the cumulative number of repair writes.
+func (ix *Index) Repairs() uint64 { return ix.repairs }
+
+// consume visits a node during traversal: its garbled comparison is
+// spent, so the client repairs it with a fresh encryption, issuing the
+// UPDATE that the transaction logs will remember.
+func (ix *Index) consume(n *node) error {
+	ct, err := ix.encryptValue(n.value)
+	if err != nil {
+		return err
+	}
+	q := fmt.Sprintf("UPDATE %s SET enc = %s WHERE nid = %d", ix.name, sqlparse.StrValue(ct).SQL(), n.id)
+	if _, err := ix.sess.Execute(q); err != nil {
+		return err
+	}
+	ix.repairs++
+	return nil
+}
+
+// RangeQuery returns all indexed values in [lo, hi], consuming (and
+// repairing) every traversed node.
+func (ix *Index) RangeQuery(lo, hi uint32) ([]uint32, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("arxx: inverted range [%d, %d]", lo, hi)
+	}
+	var out []uint32
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		if n == nil {
+			return nil
+		}
+		// The comparison at this node consumes it.
+		if err := ix.consume(n); err != nil {
+			return err
+		}
+		if lo < n.value {
+			if err := walk(n.left); err != nil {
+				return err
+			}
+		}
+		if lo <= n.value && n.value <= hi {
+			out = append(out, n.value)
+		}
+		// Equal values insert to the right, so the right subtree must be
+		// visited when hi == n.value too.
+		if hi >= n.value {
+			if err := walk(n.right); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(ix.root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Rank returns the number of indexed values strictly less than v —
+// the quantity the paper notes leaks from transaction logs.
+func (ix *Index) Rank(v uint32) int {
+	rank := 0
+	n := ix.root
+	for n != nil {
+		if v <= n.value {
+			n = n.left
+		} else {
+			rank += 1 + size(n.left)
+			n = n.right
+		}
+	}
+	return rank
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + size(n.left) + size(n.right)
+}
+
+// NodeValue resolves a node id to its plaintext value. Only the
+// *client* can do this; experiments use it as ground truth when scoring
+// attack accuracy.
+func (ix *Index) NodeValue(id int) (uint32, bool) {
+	n, ok := ix.byID[id]
+	if !ok {
+		return 0, false
+	}
+	return n.value, true
+}
+
+// Session returns the index's engine session.
+func (ix *Index) Session() *engine.Session { return ix.sess }

@@ -1,0 +1,400 @@
+// Package cryptdbx implements a CryptDB-style encrypted database proxy
+// over the snapdb engine. The client-side proxy holds the keys,
+// rewrites queries, and decrypts results; the engine only ever sees
+// ciphertexts — plus, inevitably, everything §3–§5 of the paper says a
+// DBMS retains about the rewritten queries themselves.
+//
+// Column encryption modes, as in CryptDB's onions:
+//
+//   - RND: randomized encryption; no server-side operations.
+//   - DET: deterministic encryption; server-side equality.
+//   - OPE: order-preserving encryption (INT only); server-side ranges.
+//   - SEARCH: searchable encryption (TEXT only); keyword search via a
+//     per-column SSE index. The engine has no UDFs, so the proxy both
+//     issues the token-bearing search statement (which therefore lands
+//     in the processlist, performance_schema, and heap, like CryptDB's
+//     UDF call does in MySQL) and evaluates the SSE match.
+package cryptdbx
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"snapdb/internal/crypto/det"
+	"snapdb/internal/crypto/ope"
+	"snapdb/internal/crypto/prim"
+	"snapdb/internal/crypto/sse"
+	"snapdb/internal/engine"
+	"snapdb/internal/sqlparse"
+	"snapdb/internal/storage"
+)
+
+// EncMode is a column's encryption mode.
+type EncMode int
+
+// Encryption modes.
+const (
+	RND EncMode = iota
+	DET
+	OPE
+	SEARCH
+)
+
+func (m EncMode) String() string {
+	switch m {
+	case RND:
+		return "RND"
+	case DET:
+		return "DET"
+	case OPE:
+		return "OPE"
+	case SEARCH:
+		return "SEARCH"
+	default:
+		return fmt.Sprintf("EncMode(%d)", int(m))
+	}
+}
+
+// ColumnSpec declares one plaintext column and its protection.
+type ColumnSpec struct {
+	Name string
+	Type sqlparse.ColumnType
+	Mode EncMode
+}
+
+// tableMeta is the proxy's per-table key material and schema.
+type tableMeta struct {
+	name    string
+	specs   []ColumnSpec
+	det     []*det.Scheme // per column (nil unless DET)
+	ope     []*ope.Scheme // per column (nil unless OPE)
+	rndKeys []prim.Key    // per column (zero unless RND)
+	sse     []*sse.Scheme // per column (nil unless SEARCH)
+	index   []*sse.Index  // per column (nil unless SEARCH)
+}
+
+// Proxy is the client-side encrypted-database proxy.
+type Proxy struct {
+	root   prim.Key
+	sess   *engine.Session
+	tables map[string]*tableMeta
+}
+
+// New creates a proxy speaking to the engine through its own session.
+func New(e *engine.Engine, root prim.Key) *Proxy {
+	return &Proxy{root: root, sess: e.Connect("cryptdbx"), tables: make(map[string]*tableMeta)}
+}
+
+// CreateTable creates the encrypted table. The first column is the
+// primary key and must be DET (TEXT) or OPE (INT) so the clustered
+// index can order ciphertexts.
+func (p *Proxy) CreateTable(name string, specs []ColumnSpec) error {
+	if _, dup := p.tables[name]; dup {
+		return fmt.Errorf("cryptdbx: table %q already exists", name)
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("cryptdbx: no columns")
+	}
+	pk := specs[0]
+	if pk.Mode != DET && pk.Mode != OPE {
+		return fmt.Errorf("cryptdbx: primary key %q must be DET or OPE, got %v", pk.Name, pk.Mode)
+	}
+	m := &tableMeta{
+		name:    name,
+		specs:   append([]ColumnSpec(nil), specs...),
+		det:     make([]*det.Scheme, len(specs)),
+		ope:     make([]*ope.Scheme, len(specs)),
+		rndKeys: make([]prim.Key, len(specs)),
+		sse:     make([]*sse.Scheme, len(specs)),
+		index:   make([]*sse.Index, len(specs)),
+	}
+	var defs []string
+	for i, c := range specs {
+		key := prim.Derive(p.root, fmt.Sprintf("%s:%s:%v", name, c.Name, c.Mode))
+		ctype := "TEXT" // most ciphertexts are hex strings
+		switch c.Mode {
+		case DET:
+			m.det[i] = det.New(key)
+		case OPE:
+			if c.Type != sqlparse.TypeInt {
+				return fmt.Errorf("cryptdbx: OPE column %q must be INT", c.Name)
+			}
+			m.ope[i] = ope.New(key)
+			ctype = "INT"
+		case RND:
+			m.rndKeys[i] = key
+		case SEARCH:
+			if c.Type != sqlparse.TypeText {
+				return fmt.Errorf("cryptdbx: SEARCH column %q must be TEXT", c.Name)
+			}
+			m.sse[i] = sse.New(key)
+			m.index[i] = sse.NewIndex()
+		default:
+			return fmt.Errorf("cryptdbx: unknown mode %v", c.Mode)
+		}
+		def := c.Name + " " + ctype
+		if i == 0 {
+			def += " PRIMARY KEY"
+		}
+		defs = append(defs, def)
+	}
+	_, err := p.sess.Execute(fmt.Sprintf("CREATE TABLE %s (%s)", name, strings.Join(defs, ", ")))
+	if err != nil {
+		return err
+	}
+	p.tables[name] = m
+	return nil
+}
+
+// encryptValue produces the stored representation of value for column i.
+func (m *tableMeta) encryptValue(i int, v sqlparse.Value, docID int) (sqlparse.Value, error) {
+	c := m.specs[i]
+	if c.Type == sqlparse.TypeInt && !v.IsInt || c.Type == sqlparse.TypeText && v.IsInt {
+		return sqlparse.Value{}, fmt.Errorf("cryptdbx: column %q type mismatch", c.Name)
+	}
+	switch c.Mode {
+	case DET:
+		ct, err := m.det[i].EncryptValue(v)
+		if err != nil {
+			return sqlparse.Value{}, err
+		}
+		return sqlparse.StrValue(ct), nil
+	case OPE:
+		return sqlparse.IntValue(int64(m.ope[i].Encrypt(uint32(v.Int)))), nil
+	case RND:
+		enc, err := prim.Encrypt(m.rndKeys[i], storage.EncodeRecord(storage.Record{v}))
+		if err != nil {
+			return sqlparse.Value{}, err
+		}
+		return sqlparse.StrValue(fmt.Sprintf("%x", enc)), nil
+	case SEARCH:
+		// The stored column keeps an RND encryption of the text; the
+		// keywords go into the SSE index.
+		enc, err := prim.Encrypt(prim.Derive(m.rndKeys[i], "search-body"), []byte(v.Str))
+		if err != nil {
+			return sqlparse.Value{}, err
+		}
+		if err := m.index[i].AddDocument(m.sse[i], docID, strings.Fields(v.Str)); err != nil {
+			return sqlparse.Value{}, err
+		}
+		return sqlparse.StrValue(fmt.Sprintf("%x", enc)), nil
+	}
+	return sqlparse.Value{}, fmt.Errorf("cryptdbx: unknown mode")
+}
+
+func (m *tableMeta) decryptValue(i int, stored sqlparse.Value) (sqlparse.Value, error) {
+	c := m.specs[i]
+	switch c.Mode {
+	case DET:
+		return m.det[i].DecryptValue(stored.Str)
+	case OPE:
+		pt, err := m.ope[i].Decrypt(uint64(stored.Int))
+		if err != nil {
+			return sqlparse.Value{}, err
+		}
+		return sqlparse.IntValue(int64(pt)), nil
+	case RND:
+		raw, err := hex.DecodeString(stored.Str)
+		if err != nil {
+			return sqlparse.Value{}, fmt.Errorf("cryptdbx: bad RND ciphertext: %w", err)
+		}
+		pt, err := prim.Decrypt(m.rndKeys[i], raw)
+		if err != nil {
+			return sqlparse.Value{}, err
+		}
+		rec, _, err := storage.DecodeRecord(pt)
+		if err != nil || len(rec) != 1 {
+			return sqlparse.Value{}, fmt.Errorf("cryptdbx: malformed RND plaintext")
+		}
+		return rec[0], nil
+	case SEARCH:
+		raw, err := hex.DecodeString(stored.Str)
+		if err != nil {
+			return sqlparse.Value{}, fmt.Errorf("cryptdbx: bad SEARCH ciphertext: %w", err)
+		}
+		pt, err := prim.Decrypt(prim.Derive(m.rndKeys[i], "search-body"), raw)
+		if err != nil {
+			return sqlparse.Value{}, err
+		}
+		return sqlparse.StrValue(string(pt)), nil
+	}
+	return sqlparse.Value{}, fmt.Errorf("cryptdbx: unknown mode")
+}
+
+// Insert encrypts and stores one row (values in schema order). The
+// primary key value doubles as the SSE document id for SEARCH columns,
+// so it must be an INT when the table has a SEARCH column.
+func (p *Proxy) Insert(table string, row []sqlparse.Value) error {
+	m, ok := p.tables[table]
+	if !ok {
+		return fmt.Errorf("cryptdbx: unknown table %q", table)
+	}
+	if len(row) != len(m.specs) {
+		return fmt.Errorf("cryptdbx: row has %d values for %d columns", len(row), len(m.specs))
+	}
+	docID := 0
+	if row[0].IsInt {
+		docID = int(row[0].Int)
+	} else {
+		for i, c := range m.specs {
+			if c.Mode == SEARCH && i > 0 {
+				return fmt.Errorf("cryptdbx: SEARCH columns require an INT primary key")
+			}
+		}
+	}
+	cols := make([]string, len(m.specs))
+	vals := make([]string, len(m.specs))
+	for i := range m.specs {
+		cols[i] = m.specs[i].Name
+		ev, err := m.encryptValue(i, row[i], docID)
+		if err != nil {
+			return err
+		}
+		vals[i] = ev.SQL()
+	}
+	_, err := p.sess.Execute(fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
+		table, strings.Join(cols, ", "), strings.Join(vals, ", ")))
+	return err
+}
+
+// Pred is a plaintext predicate the proxy rewrites.
+type Pred struct {
+	Column string
+	Op     sqlparse.CompareOp
+	Arg    sqlparse.Value
+}
+
+// Select runs a conjunctive query and returns decrypted rows (all
+// columns, schema order).
+func (p *Proxy) Select(table string, preds []Pred) ([][]sqlparse.Value, error) {
+	m, ok := p.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("cryptdbx: unknown table %q", table)
+	}
+	where, err := m.rewritePreds(preds)
+	if err != nil {
+		return nil, err
+	}
+	q := "SELECT * FROM " + table
+	if where != "" {
+		q += " WHERE " + where
+	}
+	res, err := p.sess.Execute(q)
+	if err != nil {
+		return nil, err
+	}
+	return m.decryptRows(res.Rows)
+}
+
+func (m *tableMeta) rewritePreds(preds []Pred) (string, error) {
+	var parts []string
+	for _, pr := range preds {
+		i := -1
+		for ci, c := range m.specs {
+			if c.Name == pr.Column {
+				i = ci
+			}
+		}
+		if i < 0 {
+			return "", fmt.Errorf("cryptdbx: unknown column %q", pr.Column)
+		}
+		c := m.specs[i]
+		switch c.Mode {
+		case DET:
+			if pr.Op != sqlparse.OpEq && pr.Op != sqlparse.OpNe {
+				return "", fmt.Errorf("cryptdbx: DET column %q supports only equality", c.Name)
+			}
+			ct, err := m.det[i].EncryptValue(pr.Arg)
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, fmt.Sprintf("%s %s %s", c.Name, pr.Op, sqlparse.StrValue(ct).SQL()))
+		case OPE:
+			if !pr.Arg.IsInt {
+				return "", fmt.Errorf("cryptdbx: OPE predicate on %q needs an INT literal", c.Name)
+			}
+			ct := m.ope[i].Encrypt(uint32(pr.Arg.Int))
+			parts = append(parts, fmt.Sprintf("%s %s %d", c.Name, pr.Op, ct))
+		default:
+			return "", fmt.Errorf("cryptdbx: column %q (%v) supports no server-side predicates", c.Name, c.Mode)
+		}
+	}
+	return strings.Join(parts, " AND "), nil
+}
+
+func (m *tableMeta) decryptRows(rows []storage.Record) ([][]sqlparse.Value, error) {
+	out := make([][]sqlparse.Value, 0, len(rows))
+	for _, r := range rows {
+		if len(r) != len(m.specs) {
+			return nil, fmt.Errorf("cryptdbx: row width %d != %d", len(r), len(m.specs))
+		}
+		pt := make([]sqlparse.Value, len(r))
+		for i := range r {
+			v, err := m.decryptValue(i, r[i])
+			if err != nil {
+				return nil, err
+			}
+			pt[i] = v
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Search runs a keyword search on a SEARCH column and returns the
+// decrypted matching rows. The rewritten statement embedding the hex
+// search token is issued through the engine first — mirroring CryptDB's
+// UDF call — so the token transits every statement-text artifact; the
+// engine cannot parse the UDF syntax, which is fine: the leakage
+// happens before parsing.
+func (p *Proxy) Search(table, column, keyword string) ([][]sqlparse.Value, error) {
+	m, ok := p.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("cryptdbx: unknown table %q", table)
+	}
+	i := -1
+	for ci, c := range m.specs {
+		if c.Name == column {
+			i = ci
+		}
+	}
+	if i < 0 || m.specs[i].Mode != SEARCH {
+		return nil, fmt.Errorf("cryptdbx: %q is not a SEARCH column", column)
+	}
+	tok := m.sse[i].TokenFor(keyword)
+	// The UDF-style statement CryptDB would send; the token literal is
+	// the leakage-bearing artifact.
+	udf := fmt.Sprintf("SELECT * FROM %s WHERE search_match(%s, '%x')", table, column, tok[:])
+	_, _ = p.sess.Execute(udf) // parse error expected; artifacts recorded regardless
+
+	matches := m.index[i].Search(tok)
+	var out [][]sqlparse.Value
+	for _, docID := range matches {
+		rows, err := p.Select(table, []Pred{{Column: m.specs[0].Name, Op: sqlparse.OpEq, Arg: sqlparse.IntValue(int64(docID))}})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// SSEIndex exposes the server-side SSE index of a SEARCH column — the
+// thing a snapshot attacker holds and replays stolen tokens against.
+func (p *Proxy) SSEIndex(table, column string) (*sse.Index, error) {
+	m, ok := p.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("cryptdbx: unknown table %q", table)
+	}
+	for ci, c := range m.specs {
+		if c.Name == column && c.Mode == SEARCH {
+			return m.index[ci], nil
+		}
+	}
+	return nil, fmt.Errorf("cryptdbx: %q is not a SEARCH column", column)
+}
+
+// Session returns the proxy's engine session (examples use it to show
+// the attacker's SQL-injection view).
+func (p *Proxy) Session() *engine.Session { return p.sess }

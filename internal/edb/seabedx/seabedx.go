@@ -1,0 +1,142 @@
+// Package seabedx implements a Seabed-style encrypted analytics layer
+// over the snapdb engine: one fact table whose filter column is
+// SPLASHE-split into per-value ASHE columns (plus, in enhanced mode, a
+// padded DET tail column), with count queries rewritten to blind
+// aggregations.
+//
+// The rewriting is precisely what §6 of the paper attacks: a count for
+// plaintext value v becomes "SELECT SUM(<v's column>) FROM t", so the
+// engine's events_statements_summary_by_digest table — which
+// canonicalizes per column name — ends up holding the exact histogram
+// of queries per plaintext value.
+package seabedx
+
+import (
+	"fmt"
+	"strings"
+
+	"snapdb/internal/crypto/prim"
+	"snapdb/internal/crypto/splashe"
+	"snapdb/internal/engine"
+	"snapdb/internal/sqlparse"
+)
+
+// Table is one SPLASHE-protected fact table.
+type Table struct {
+	name string
+	plan *splashe.Plan
+	enc  *splashe.Encryptor
+	sess *engine.Session
+	rows uint64 // rows inserted; ids are 1..rows (contiguous for ASHE)
+}
+
+// NewTable creates the encrypted fact table. With enhanced = false the
+// domain must cover every value ever inserted (basic SPLASHE); with
+// enhanced = true, domain lists only the frequent values and the rest
+// share the padded DET tail column.
+func NewTable(e *engine.Engine, root prim.Key, name, column string, domain []string, enhanced bool) (*Table, error) {
+	var plan *splashe.Plan
+	if enhanced {
+		plan = splashe.NewEnhancedPlan(column, domain)
+	} else {
+		plan = splashe.NewPlan(column, domain)
+	}
+	t := &Table{
+		name: name,
+		plan: plan,
+		enc:  splashe.NewEncryptor(root, plan),
+		sess: e.Connect("seabedx"),
+	}
+	defs := []string{"rid INT PRIMARY KEY"}
+	for i := range plan.Dedicated {
+		defs = append(defs, plan.ColumnName(i)+" INT")
+	}
+	if plan.HasTail {
+		defs = append(defs, plan.TailColumnName()+" TEXT")
+	}
+	q := fmt.Sprintf("CREATE TABLE %s (%s)", name, strings.Join(defs, ", "))
+	if _, err := t.sess.Execute(q); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Insert adds one row with the given filter-column value.
+func (t *Table) Insert(value string) error {
+	id := t.rows + 1
+	enc, err := t.enc.EncryptRow(id, value)
+	if err != nil {
+		return err
+	}
+	cols := []string{"rid"}
+	vals := []string{fmt.Sprintf("%d", id)}
+	for i, ct := range enc.Dedicated {
+		cols = append(cols, t.plan.ColumnName(i))
+		// ASHE ciphertexts are uint64 group elements; store them as the
+		// bijective two's-complement int64 so the engine's wrapping SUM
+		// is exactly addition mod 2^64.
+		vals = append(vals, fmt.Sprintf("%d", int64(ct)))
+	}
+	if t.plan.HasTail {
+		cols = append(cols, t.plan.TailColumnName())
+		vals = append(vals, sqlparse.StrValue(enc.Tail).SQL())
+	}
+	q := fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)", t.name, strings.Join(cols, ", "), strings.Join(vals, ", "))
+	if _, err := t.sess.Execute(q); err != nil {
+		return err
+	}
+	t.rows = id
+	return nil
+}
+
+// Rows returns the number of inserted rows.
+func (t *Table) Rows() uint64 { return t.rows }
+
+// CountWhere answers "SELECT COUNT(*) WHERE column = value" the Seabed
+// way. Dedicated values aggregate blindly over their ASHE column; tail
+// values (enhanced mode) count DET-equality matches.
+func (t *Table) CountWhere(value string) (uint64, error) {
+	if t.rows == 0 {
+		return 0, nil
+	}
+	if col, ok := t.enc.CountQueryRewrite(value); ok {
+		q := fmt.Sprintf("SELECT SUM(%s) FROM %s", col, t.name)
+		res, err := t.sess.Execute(q)
+		if err != nil {
+			return 0, err
+		}
+		if len(res.Rows) != 1 {
+			return 0, fmt.Errorf("seabedx: aggregation returned %d rows", len(res.Rows))
+		}
+		idx, _ := t.plan.ColumnFor(value)
+		return t.enc.DecryptCount(idx, uint64(res.Rows[0][0].Int), 1, t.rows)
+	}
+	if !t.plan.HasTail {
+		return 0, fmt.Errorf("seabedx: value %q outside the basic-SPLASHE domain", value)
+	}
+	tok, err := t.enc.TailTokenFor(value)
+	if err != nil {
+		return 0, err
+	}
+	q := fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s = %s",
+		t.name, t.plan.TailColumnName(), sqlparse.StrValue(tok).SQL())
+	res, err := t.sess.Execute(q)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(res.Rows[0][0].Int), nil
+}
+
+// TailToken returns the DET ciphertext a tail value equality uses
+// (enhanced mode only). Experiments use it to build scoring ground
+// truth; a real attacker instead observes the ciphertexts directly in
+// the stored column.
+func (t *Table) TailToken(value string) (string, error) {
+	return t.enc.TailTokenFor(value)
+}
+
+// Plan exposes the SPLASHE plan (experiments need the column naming).
+func (t *Table) Plan() *splashe.Plan { return t.plan }
+
+// Session returns the layer's engine session.
+func (t *Table) Session() *engine.Session { return t.sess }

@@ -1,0 +1,787 @@
+// Package engine implements the snapdb DBMS: a single-node SQL engine
+// in the style of MySQL/InnoDB, assembled from the substrate packages.
+// Every artifact the paper's snapshot attacks exploit is wired in:
+//
+//   - writes go through circular undo/redo WALs (wal) and, when the
+//     binlog is enabled (the production default), into a timestamped
+//     statement binlog (binlog);
+//   - reads traverse per-table B+ trees (btree) through a buffer pool
+//     (bufpool) that maintains LRU order, access counters, and a
+//     periodic dump file;
+//   - every statement is visible in the processlist (infoschema) while
+//     executing and lands in performance_schema's current/history/
+//     digest tables (perfschema);
+//   - SELECT results are cached in the internal query cache
+//     (querycache);
+//   - statements that exceed the slow threshold go to the slow log and,
+//     if enabled, everything goes to the general log (dblog);
+//   - all query text is allocated (and insecurely freed) in a simulated
+//     process heap (heap).
+//
+// The engine's clock is injectable so experiments can replay days of
+// workload in milliseconds.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"snapdb/internal/binlog"
+	"snapdb/internal/btree"
+	"snapdb/internal/bufpool"
+	"snapdb/internal/dblog"
+	"snapdb/internal/heap"
+	"snapdb/internal/infoschema"
+	"snapdb/internal/perfschema"
+	"snapdb/internal/querycache"
+	"snapdb/internal/sqlparse"
+	"snapdb/internal/storage"
+	"snapdb/internal/wal"
+)
+
+// Config controls which artifacts the engine maintains and how large
+// they are. The zero value is normalized to production-like defaults by
+// Defaults.
+type Config struct {
+	BufferPoolPages   int           // default 256
+	RedoCapacity      int           // bytes, default wal.DefaultCapacity (50 MB)
+	UndoCapacity      int           // bytes, default wal.DefaultCapacity (50 MB)
+	EnableBinlog      bool          // default true: production servers replicate
+	EnableGeneralLog  bool          // default false: too verbose for production
+	EnableQueryCache  bool          // default true
+	QueryCacheEntries int           // default querycache.DefaultCapacity
+	HistoryPerThread  int           // default perfschema.DefaultHistoryPerThread
+	SlowThreshold     time.Duration // default dblog.DefaultSlowThreshold
+	DisableSlowLog    bool          // default false: slow log is common in production
+
+	// Hardening knobs (see internal/mitigate). All default to the
+	// production-realistic (leaky) setting.
+	SecureHeapDelete  bool // zeroize freed heap blocks
+	DisablePerfSchema bool // no statement events, history, or digests
+	ScrubProcesslist  bool // clear statement text when a query finishes
+}
+
+// Defaults returns the production-like default configuration the paper
+// assumes: binlog on, slow log on, general log off, query cache on.
+func Defaults() Config {
+	return Config{
+		BufferPoolPages:   256,
+		RedoCapacity:      wal.DefaultCapacity,
+		UndoCapacity:      wal.DefaultCapacity,
+		EnableBinlog:      true,
+		EnableQueryCache:  true,
+		QueryCacheEntries: querycache.DefaultCapacity,
+		HistoryPerThread:  perfschema.DefaultHistoryPerThread,
+		SlowThreshold:     dblog.DefaultSlowThreshold,
+	}
+}
+
+func (c Config) normalized() Config {
+	d := Defaults()
+	if c.BufferPoolPages <= 0 {
+		c.BufferPoolPages = d.BufferPoolPages
+	}
+	if c.RedoCapacity <= 0 {
+		c.RedoCapacity = d.RedoCapacity
+	}
+	if c.UndoCapacity <= 0 {
+		c.UndoCapacity = d.UndoCapacity
+	}
+	if c.QueryCacheEntries <= 0 {
+		c.QueryCacheEntries = d.QueryCacheEntries
+	}
+	if c.HistoryPerThread <= 0 {
+		c.HistoryPerThread = d.HistoryPerThread
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = d.SlowThreshold
+	}
+	return c
+}
+
+// Table is one table's catalog entry.
+type Table struct {
+	ID      uint8
+	Name    string
+	Columns []sqlparse.ColumnDef
+	PKIndex int
+	Tree    *btree.Tree
+	Indexes []*SecondaryIndex // sorted by name
+}
+
+// ColumnIndex returns the index of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Engine is one DBMS instance.
+type Engine struct {
+	cfg Config
+
+	// Clock returns UNIX seconds. Experiments override it to compress
+	// time; it defaults to time.Now.
+	Clock func() int64
+
+	// ExecClock measures statement duration; overridable for tests.
+	ExecClock func() time.Time
+
+	// execMu serializes statement execution: like SQLite (and unlike
+	// server-grade engines) snapdb uses one big statement lock, which
+	// keeps the B+ trees free of internal locking.
+	execMu sync.Mutex
+
+	mu          sync.Mutex
+	ts          *storage.Tablespace
+	pool        *bufpool.Pool
+	wal         *wal.Manager
+	binlog      *binlog.Log
+	general     *dblog.GeneralLog
+	slow        *dblog.SlowLog
+	qcache      *querycache.Cache
+	perf        *perfschema.Schema
+	procs       *infoschema.Processlist
+	arena       *heap.Arena
+	tables      map[string]*Table
+	tablesByID  map[uint8]*Table
+	nextTableID uint8
+	nextSession int
+	bufpoolDump []byte // last periodic dump of the buffer pool
+	statements  uint64 // executed statement count, drives periodic dumps
+}
+
+// DumpInterval is how many statements pass between periodic buffer-pool
+// dumps (MySQL dumps on a timer; we dump on statement count so
+// experiments are deterministic).
+const DumpInterval = 100
+
+// New creates an engine with the given configuration.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.normalized()
+	ts := storage.NewTablespace()
+	pool, err := bufpool.New(ts, cfg.BufferPoolPages)
+	if err != nil {
+		return nil, err
+	}
+	wm, err := wal.NewManager(cfg.RedoCapacity, cfg.UndoCapacity)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:        cfg,
+		Clock:      func() int64 { return time.Now().Unix() },
+		ExecClock:  time.Now,
+		ts:         ts,
+		pool:       pool,
+		wal:        wm,
+		binlog:     binlog.New(),
+		general:    dblog.NewGeneralLog(),
+		slow:       dblog.NewSlowLog(),
+		qcache:     querycache.New(cfg.QueryCacheEntries),
+		perf:       perfschema.New(cfg.HistoryPerThread),
+		procs:      infoschema.New(),
+		arena:      heap.NewArena(),
+		tables:     make(map[string]*Table),
+		tablesByID: make(map[uint8]*Table),
+	}
+	e.general.Enabled = cfg.EnableGeneralLog
+	e.qcache.Enabled = cfg.EnableQueryCache
+	e.slow.Enabled = !cfg.DisableSlowLog
+	e.slow.Threshold = cfg.SlowThreshold
+	e.arena.SecureDelete = cfg.SecureHeapDelete
+	e.procs.Scrub = cfg.ScrubProcesslist
+	return e, nil
+}
+
+// Config returns the normalized configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Session is one client connection.
+type Session struct {
+	eng  *Engine
+	ID   int
+	User string
+
+	// histPtrs holds the heap blocks backing this session's
+	// events_statements_history ring: the statement text stays live for
+	// HistoryPerThread statements and is then insecurely freed.
+	histPtrs []heap.Ptr
+
+	// txn is the open explicit transaction, nil in autocommit mode.
+	txn *txnState
+}
+
+// Connect opens a new session.
+func (e *Engine) Connect(user string) *Session {
+	e.mu.Lock()
+	e.nextSession++
+	id := e.nextSession
+	e.mu.Unlock()
+	e.procs.Register(id, user)
+	return &Session{eng: e, ID: id, User: user}
+}
+
+// Close ends the session.
+func (s *Session) Close() { s.eng.procs.Unregister(s.ID) }
+
+// Result is the outcome of one statement.
+type Result struct {
+	Columns      []string
+	Rows         []storage.Record
+	RowsAffected int
+	RowsExamined int
+	FromCache    bool
+	// AccessPath reports how the statement's scan ran: "", "full-scan",
+	// "pk-range", or "index:<name>". Tests and demos use it; it also
+	// documents that access paths are query-dependent, which is what
+	// makes buffer-pool state revealing.
+	AccessPath string
+}
+
+// Execute runs one SQL statement on this session.
+func (s *Session) Execute(query string) (*Result, error) {
+	e := s.eng
+	start := e.ExecClock()
+	ts := e.Clock()
+
+	// Query text passes through several heap buffers, as in a real
+	// DBMS: the connection receive buffer, the parser's working copy,
+	// the digest/canonicalization buffer (freed after execution), and
+	// the statement-history ring entry (freed HistoryPerThread
+	// statements later). None is securely deleted.
+	connBuf := e.arena.AllocString(query)
+	parseBuf := e.arena.AllocString(query)
+	digestBuf := e.arena.AllocString(sqlparse.Digest(query))
+	if !e.cfg.DisablePerfSchema {
+		s.histPtrs = append(s.histPtrs, e.arena.AllocString(query))
+		if len(s.histPtrs) > e.cfg.HistoryPerThread {
+			_ = e.arena.Free(s.histPtrs[0])
+			s.histPtrs = s.histPtrs[1:]
+		}
+	}
+
+	e.procs.SetQuery(s.ID, query, ts)
+	if !e.cfg.DisablePerfSchema {
+		e.perf.BeginStatement(s.ID, query, ts)
+	}
+
+	e.execMu.Lock()
+	res, err := e.execute(s, query, ts)
+	e.execMu.Unlock()
+
+	dur := e.ExecClock().Sub(start)
+	examined, returned := 0, 0
+	if res != nil {
+		examined = res.RowsExamined
+		returned = len(res.Rows)
+		if res.RowsAffected > 0 && returned == 0 {
+			returned = res.RowsAffected
+		}
+	}
+	if !e.cfg.DisablePerfSchema {
+		e.perf.EndStatement(s.ID, examined, returned, dur)
+	}
+	e.procs.ClearQuery(s.ID)
+	e.general.Record(dblog.Entry{Timestamp: ts, Session: s.ID, Duration: dur, Statement: query})
+	e.slow.Record(dblog.Entry{Timestamp: ts, Session: s.ID, Duration: dur, Statement: query})
+
+	// Insecure frees: the bytes stay in the heap.
+	_ = e.arena.Free(connBuf)
+	_ = e.arena.Free(parseBuf)
+	_ = e.arena.Free(digestBuf)
+
+	e.mu.Lock()
+	e.statements++
+	if e.statements%DumpInterval == 0 {
+		e.bufpoolDump = e.pool.DumpFile()
+	}
+	e.mu.Unlock()
+	return res, err
+}
+
+func (e *Engine) execute(s *Session, query string, ts int64) (*Result, error) {
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case *sqlparse.CreateTable:
+		return e.execCreate(st, query, ts)
+	case *sqlparse.CreateIndex:
+		return e.execCreateIndex(s, st, query, ts)
+	case *sqlparse.Insert:
+		return e.execInsert(s, st, query, ts)
+	case *sqlparse.Select:
+		return e.execSelect(s, st, query)
+	case *sqlparse.Update:
+		return e.execUpdate(s, st, query, ts)
+	case *sqlparse.Delete:
+		return e.execDelete(s, st, query, ts)
+	case *sqlparse.TxnControl:
+		return e.execTxnControl(s, st, ts)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+func (e *Engine) execCreate(st *sqlparse.CreateTable, query string, ts int64) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.tables[st.Table]; exists {
+		return nil, fmt.Errorf("engine: table %q already exists", st.Table)
+	}
+	if len(st.Columns) == 0 {
+		return nil, fmt.Errorf("engine: table %q has no columns", st.Table)
+	}
+	pk := 0
+	found := false
+	for i, c := range st.Columns {
+		if c.PrimaryKey {
+			if found {
+				return nil, fmt.Errorf("engine: table %q has multiple primary keys", st.Table)
+			}
+			pk = i
+			found = true
+		}
+	}
+	if pk != 0 {
+		return nil, fmt.Errorf("engine: primary key must be the first column (clustered index)")
+	}
+	if e.nextTableID == 0xFF {
+		return nil, fmt.Errorf("engine: table limit reached")
+	}
+	e.nextTableID++
+	t := &Table{
+		ID:      e.nextTableID,
+		Name:    st.Table,
+		Columns: st.Columns,
+		PKIndex: pk,
+		Tree:    btree.New(e.ts, e.pool),
+	}
+	e.tables[st.Table] = t
+	e.tablesByID[t.ID] = t
+	if e.cfg.EnableBinlog {
+		e.binlog.Append(binlog.Event{Timestamp: ts, LSN: e.wal.CurrentLSN(), Statement: query})
+	}
+	return &Result{}, nil
+}
+
+// lookupTable returns the catalog entry, including virtual system tables.
+func (e *Engine) lookupTable(name string) (*Table, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Table returns the catalog entry for a table (used by EDB layers that
+// need schema information).
+func (e *Engine) Table(name string) (*Table, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[name]
+	return t, ok
+}
+
+// Tables returns all user tables sorted by name.
+func (e *Engine) Tables() []*Table {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (e *Engine) execInsert(s *Session, st *sqlparse.Insert, query string, ts int64) (*Result, error) {
+	t, err := e.lookupTable(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]storage.Record, 0, len(st.Rows))
+	for _, tuple := range st.Rows {
+		row, err := buildRow(t, st.Columns, tuple)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		if err := t.Tree.Insert(row); err != nil {
+			return nil, err
+		}
+		if err := indexInsertRow(t, row); err != nil {
+			return nil, err
+		}
+		_, undo := e.wal.LogInsert(t.ID, row)
+		s.noteUndo(undo)
+	}
+	e.qcache.InvalidateTable(t.Name)
+	s.emitBinlog(e, binlog.Event{Timestamp: ts, LSN: e.wal.CurrentLSN(), Statement: query})
+	return &Result{RowsAffected: len(rows)}, nil
+}
+
+// buildRow places tuple values into schema order, checking types.
+func buildRow(t *Table, cols []string, tuple []sqlparse.Value) (storage.Record, error) {
+	if len(cols) != len(t.Columns) {
+		return nil, fmt.Errorf("engine: INSERT must list all %d columns of %q", len(t.Columns), t.Name)
+	}
+	row := make(storage.Record, len(t.Columns))
+	seen := make(map[int]bool, len(cols))
+	for i, name := range cols {
+		idx := t.ColumnIndex(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q in table %q", name, t.Name)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("engine: duplicate column %q", name)
+		}
+		seen[idx] = true
+		v := tuple[i]
+		if err := checkType(t.Columns[idx], v); err != nil {
+			return nil, err
+		}
+		row[idx] = v
+	}
+	return row, nil
+}
+
+func checkType(col sqlparse.ColumnDef, v sqlparse.Value) error {
+	if col.Type == sqlparse.TypeInt && !v.IsInt {
+		return fmt.Errorf("engine: column %q is INT, got string %q", col.Name, v.Str)
+	}
+	if col.Type == sqlparse.TypeText && v.IsInt {
+		return fmt.Errorf("engine: column %q is TEXT, got integer %d", col.Name, v.Int)
+	}
+	return nil
+}
+
+func (e *Engine) execSelect(s *Session, st *sqlparse.Select, query string) (*Result, error) {
+	if res, ok := e.systemSelect(st); ok {
+		return res, nil
+	}
+	t, err := e.lookupTable(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if cached, ok := e.qcache.Get(query); ok {
+		return &Result{Columns: selectColumns(t, st), Rows: cached, FromCache: true}, nil
+	}
+	rows, examined, path, err := e.scanWhere(t, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: selectColumns(t, st), RowsExamined: examined, AccessPath: path}
+
+	// Aggregates.
+	if len(st.Exprs) == 1 && st.Exprs[0].Agg != sqlparse.AggNone {
+		val, err := aggregate(t, st.Exprs[0], rows)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = []storage.Record{{val}}
+		e.qcache.Put(query, t.Name, res.Rows)
+		return res, nil
+	}
+
+	// Projection.
+	proj, err := projection(t, st.Exprs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]storage.Record, 0, len(rows))
+	for _, r := range rows {
+		pr := make(storage.Record, len(proj))
+		for i, idx := range proj {
+			pr[i] = r[idx]
+		}
+		out = append(out, pr)
+	}
+
+	if st.OrderBy != "" {
+		// Like MySQL, ORDER BY may name any table column, selected or
+		// not; sort on the full rows before (or alongside) projecting.
+		oidx := t.ColumnIndex(st.OrderBy)
+		if oidx < 0 {
+			return nil, fmt.Errorf("engine: unknown ORDER BY column %q", st.OrderBy)
+		}
+		order := make([]int, len(rows))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			c := rows[order[a]][oidx].Compare(rows[order[b]][oidx])
+			if st.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		reordered := make([]storage.Record, len(out))
+		for i, o := range order {
+			reordered[i] = out[o]
+		}
+		out = reordered
+	}
+	if st.Limit > 0 && len(out) > st.Limit {
+		out = out[:st.Limit]
+	}
+	res.Rows = out
+	e.qcache.Put(query, t.Name, out)
+	return res, nil
+}
+
+// scanWhere evaluates a conjunctive WHERE over the table, using the
+// primary-key B+ tree for point and range predicates on the key and a
+// secondary index otherwise when one covers a bounded predicate. It
+// also reports the access path taken.
+func (e *Engine) scanWhere(t *Table, where sqlparse.Where) ([]storage.Record, int, string, error) {
+	// Resolve predicate columns up front so unknown columns fail even
+	// on empty tables.
+	colIdx := make([]int, len(where))
+	for i, p := range where {
+		idx := t.ColumnIndex(p.Column)
+		if idx < 0 {
+			return nil, 0, "", fmt.Errorf("engine: unknown column %q in WHERE", p.Column)
+		}
+		colIdx[i] = idx
+	}
+	match := func(r storage.Record) (bool, error) {
+		for i, p := range where {
+			if !p.Op.Eval(r[colIdx[i]].Compare(p.Arg)) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	// Index selection: a point or range predicate on the PK narrows the
+	// scan to the relevant leaves; failing that, a bounded predicate on
+	// a secondary-indexed column drives an index scan. Either way the
+	// access path is query-dependent — which is what makes the
+	// buffer-pool dump revealing.
+	lo, hi, havePK := pkBounds(t, where)
+	var rows []storage.Record
+	examined := 0
+	var scanErr error
+	visit := func(r storage.Record) bool {
+		examined++
+		ok, err := match(r)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ok {
+			rows = append(rows, r)
+		}
+		return true
+	}
+	var err error
+	path := "full-scan"
+	switch {
+	case havePK:
+		path = "pk-range"
+		err = t.Tree.Range(lo, hi, visit)
+	default:
+		if ix, ilo, ihi, ok := indexBounds(t, where); ok {
+			candidates, n, ierr := e.indexScan(t, ix, ilo, ihi)
+			if ierr != nil {
+				return nil, 0, "", ierr
+			}
+			examined = n
+			for _, r := range candidates {
+				ok, merr := match(r)
+				if merr != nil {
+					return nil, 0, "", merr
+				}
+				if ok {
+					rows = append(rows, r)
+				}
+			}
+			return rows, examined, "index:" + ix.Name, nil
+		}
+		err = t.Tree.Scan(visit)
+	}
+	if err != nil {
+		return nil, 0, "", err
+	}
+	if scanErr != nil {
+		return nil, 0, "", scanErr
+	}
+	return rows, examined, path, nil
+}
+
+// pkBounds extracts [lo, hi] bounds on the primary key from the WHERE
+// clause if every needed bound is present.
+func pkBounds(t *Table, where sqlparse.Where) (lo, hi sqlparse.Value, ok bool) {
+	pkName := t.Columns[t.PKIndex].Name
+	var haveLo, haveHi bool
+	for _, p := range where {
+		if p.Column != pkName {
+			continue
+		}
+		switch p.Op {
+		case sqlparse.OpEq:
+			return p.Arg, p.Arg, true
+		case sqlparse.OpGe, sqlparse.OpGt:
+			if !haveLo || p.Arg.Compare(lo) > 0 {
+				lo, haveLo = p.Arg, true
+			}
+		case sqlparse.OpLe, sqlparse.OpLt:
+			if !haveHi || p.Arg.Compare(hi) < 0 {
+				hi, haveHi = p.Arg, true
+			}
+		}
+	}
+	return lo, hi, haveLo && haveHi
+}
+
+func selectColumns(t *Table, st *sqlparse.Select) []string {
+	var out []string
+	for _, ex := range st.Exprs {
+		switch {
+		case ex.Agg != sqlparse.AggNone:
+			out = append(out, ex.SQL())
+		case ex.Column == "*":
+			for _, c := range t.Columns {
+				out = append(out, c.Name)
+			}
+		default:
+			out = append(out, ex.Column)
+		}
+	}
+	return out
+}
+
+// projection maps select expressions to schema column indices,
+// expanding *.
+func projection(t *Table, exprs []sqlparse.SelectExpr) ([]int, error) {
+	var out []int
+	for _, ex := range exprs {
+		if ex.Agg != sqlparse.AggNone {
+			return nil, fmt.Errorf("engine: cannot mix aggregates and columns")
+		}
+		if ex.Column == "*" {
+			for i := range t.Columns {
+				out = append(out, i)
+			}
+			continue
+		}
+		idx := t.ColumnIndex(ex.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q", ex.Column)
+		}
+		out = append(out, idx)
+	}
+	return out, nil
+}
+
+func aggregate(t *Table, ex sqlparse.SelectExpr, rows []storage.Record) (sqlparse.Value, error) {
+	switch ex.Agg {
+	case sqlparse.AggCount:
+		return sqlparse.IntValue(int64(len(rows))), nil
+	case sqlparse.AggSum:
+		idx := t.ColumnIndex(ex.Column)
+		if idx < 0 {
+			return sqlparse.Value{}, fmt.Errorf("engine: unknown column %q in SUM", ex.Column)
+		}
+		if t.Columns[idx].Type != sqlparse.TypeInt {
+			return sqlparse.Value{}, fmt.Errorf("engine: SUM over non-INT column %q", ex.Column)
+		}
+		var sum int64
+		for _, r := range rows {
+			sum += r[idx].Int
+		}
+		return sqlparse.IntValue(sum), nil
+	default:
+		return sqlparse.Value{}, fmt.Errorf("engine: unsupported aggregate")
+	}
+}
+
+func (e *Engine) execUpdate(s *Session, st *sqlparse.Update, query string, ts int64) (*Result, error) {
+	t, err := e.lookupTable(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	rows, examined, _, err := e.scanWhere(t, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	// Validate assignments once.
+	type setOp struct {
+		idx int
+		val sqlparse.Value
+	}
+	sets := make([]setOp, 0, len(st.Set))
+	for _, a := range st.Set {
+		idx := t.ColumnIndex(a.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q in SET", a.Column)
+		}
+		if idx == t.PKIndex {
+			return nil, fmt.Errorf("engine: updating the primary key is not supported")
+		}
+		if err := checkType(t.Columns[idx], a.Value); err != nil {
+			return nil, err
+		}
+		sets = append(sets, setOp{idx, a.Value})
+	}
+	for _, old := range rows {
+		updated := old.Clone()
+		for _, op := range sets {
+			// Byte-level change records, one per modified column.
+			_, undo := e.wal.LogUpdate(t.ID,
+				storage.Record{old[t.PKIndex]}, uint8(op.idx),
+				storage.Record{old[op.idx]}, storage.Record{op.val})
+			s.noteUndo(undo)
+			if err := indexUpdateColumn(t, old[t.PKIndex], op.idx, old[op.idx], op.val); err != nil {
+				return nil, err
+			}
+			updated[op.idx] = op.val
+		}
+		if _, err := t.Tree.Update(old[t.PKIndex], updated); err != nil {
+			return nil, err
+		}
+	}
+	e.qcache.InvalidateTable(t.Name)
+	if len(rows) > 0 {
+		s.emitBinlog(e, binlog.Event{Timestamp: ts, LSN: e.wal.CurrentLSN(), Statement: query})
+	}
+	return &Result{RowsAffected: len(rows), RowsExamined: examined}, nil
+}
+
+func (e *Engine) execDelete(s *Session, st *sqlparse.Delete, query string, ts int64) (*Result, error) {
+	t, err := e.lookupTable(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	rows, examined, _, err := e.scanWhere(t, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, old := range rows {
+		if _, err := t.Tree.Delete(old[t.PKIndex]); err != nil {
+			return nil, err
+		}
+		if err := indexDeleteRow(t, old); err != nil {
+			return nil, err
+		}
+		_, undo := e.wal.LogDelete(t.ID, old)
+		s.noteUndo(undo)
+	}
+	e.qcache.InvalidateTable(t.Name)
+	if len(rows) > 0 {
+		s.emitBinlog(e, binlog.Event{Timestamp: ts, LSN: e.wal.CurrentLSN(), Statement: query})
+	}
+	return &Result{RowsAffected: len(rows), RowsExamined: examined}, nil
+}

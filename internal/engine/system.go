@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"time"
+
+	"snapdb/internal/binlog"
+	"snapdb/internal/bufpool"
+	"snapdb/internal/dblog"
+	"snapdb/internal/heap"
+	"snapdb/internal/infoschema"
+	"snapdb/internal/perfschema"
+	"snapdb/internal/querycache"
+	"snapdb/internal/sqlparse"
+	"snapdb/internal/storage"
+	"snapdb/internal/wal"
+)
+
+// systemSelect serves the virtual diagnostic tables that §4 of the
+// paper shows are reachable through any SQL execution path, including
+// an injected query: information_schema.processlist and the
+// performance_schema statement tables. Returns (result, true) when the
+// statement targeted a system table.
+func (e *Engine) systemSelect(st *sqlparse.Select) (*Result, bool) {
+	switch st.Table {
+	case "information_schema.processlist":
+		rows := e.procs.Snapshot()
+		out := &Result{Columns: []string{"id", "user", "state", "started", "info"}}
+		for _, p := range rows {
+			out.Rows = append(out.Rows, storage.Record{
+				sqlparse.IntValue(int64(p.ID)),
+				sqlparse.StrValue(p.User),
+				sqlparse.StrValue(p.State),
+				sqlparse.IntValue(p.Started),
+				sqlparse.StrValue(p.Statement),
+			})
+		}
+		return out, true
+	case "performance_schema.events_statements_current":
+		out := &Result{Columns: []string{"thread", "timestamp", "sql_text", "digest", "rows_examined", "rows_sent"}}
+		for _, ev := range e.perf.Current() {
+			out.Rows = append(out.Rows, statementEventRow(ev))
+		}
+		return out, true
+	case "performance_schema.events_statements_history":
+		out := &Result{Columns: []string{"thread", "timestamp", "sql_text", "digest", "rows_examined", "rows_sent"}}
+		for _, ev := range e.perf.History() {
+			out.Rows = append(out.Rows, statementEventRow(ev))
+		}
+		return out, true
+	case "performance_schema.events_statements_summary_by_digest":
+		out := &Result{Columns: []string{"digest", "digest_text", "count_star", "sum_rows_examined", "sum_rows_sent", "first_seen", "last_seen"}}
+		for _, row := range e.perf.DigestSummary() {
+			out.Rows = append(out.Rows, storage.Record{
+				sqlparse.StrValue(row.Digest),
+				sqlparse.StrValue(row.DigestText),
+				sqlparse.IntValue(int64(row.Count)),
+				sqlparse.IntValue(int64(row.SumRowsExamined)),
+				sqlparse.IntValue(int64(row.SumRowsReturned)),
+				sqlparse.IntValue(row.FirstSeen),
+				sqlparse.IntValue(row.LastSeen),
+			})
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+func statementEventRow(ev perfschema.StatementEvent) storage.Record {
+	return storage.Record{
+		sqlparse.IntValue(int64(ev.Thread)),
+		sqlparse.IntValue(ev.Timestamp),
+		sqlparse.StrValue(ev.Statement),
+		sqlparse.StrValue(ev.Digest),
+		sqlparse.IntValue(int64(ev.RowsExamined)),
+		sqlparse.IntValue(int64(ev.RowsReturned)),
+	}
+}
+
+// --- Accessors used by the snapshot and forensics packages. They
+// expose the engine's internal state exactly as a compromise would. ---
+
+// WAL returns the redo/undo log manager.
+func (e *Engine) WAL() *wal.Manager { return e.wal }
+
+// Binlog returns the binary log.
+func (e *Engine) Binlog() *binlog.Log { return e.binlog }
+
+// BufferPool returns the buffer pool.
+func (e *Engine) BufferPool() *bufpool.Pool { return e.pool }
+
+// Arena returns the simulated process heap.
+func (e *Engine) Arena() *heap.Arena { return e.arena }
+
+// QueryCache returns the internal query cache.
+func (e *Engine) QueryCache() *querycache.Cache { return e.qcache }
+
+// PerfSchema returns the performance_schema state.
+func (e *Engine) PerfSchema() *perfschema.Schema { return e.perf }
+
+// Processlist returns the information_schema processlist.
+func (e *Engine) Processlist() *infoschema.Processlist { return e.procs }
+
+// Tablespace returns the page store.
+func (e *Engine) Tablespace() *storage.Tablespace { return e.ts }
+
+// GeneralLog returns the general query log.
+func (e *Engine) GeneralLog() *dblog.GeneralLog { return e.general }
+
+// SlowLog returns the slow query log.
+func (e *Engine) SlowLog() *dblog.SlowLog { return e.slow }
+
+// TableByID resolves a WAL table id to its catalog entry.
+func (e *Engine) TableByID(id uint8) (*Table, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tablesByID[id]
+	return t, ok
+}
+
+// LastBufferPoolDump returns the most recent periodic buffer-pool dump
+// file image (written every DumpInterval statements), or nil if none
+// has been written yet.
+func (e *Engine) LastBufferPoolDump() []byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.bufpoolDump == nil {
+		return nil
+	}
+	out := make([]byte, len(e.bufpoolDump))
+	copy(out, e.bufpoolDump)
+	return out
+}
+
+// Shutdown flushes the buffer-pool dump the way MySQL does at shutdown
+// and returns it.
+func (e *Engine) Shutdown() []byte {
+	dump := e.pool.DumpFile()
+	e.mu.Lock()
+	e.bufpoolDump = dump
+	e.mu.Unlock()
+	out := make([]byte, len(dump))
+	copy(out, dump)
+	return out
+}
+
+// Statements returns the number of executed statements.
+func (e *Engine) Statements() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.statements
+}
+
+// SetSlowThreshold adjusts the slow-log threshold at runtime.
+func (e *Engine) SetSlowThreshold(d time.Duration) { e.slow.Threshold = d }

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"snapdb/internal/engine"
+	"snapdb/internal/snapshot"
+)
+
+// E10Result reproduces §4: a SQL-injection attacker reads the
+// diagnostic tables and obtains other users' current statements
+// (processlist), each thread's recent statements (history, default 10
+// per thread), and the per-type histogram of every query since restart
+// (digest table).
+type E10Result struct {
+	Quick              bool
+	Threads            int
+	QueriesPerThread   int
+	HistoryPerThread   int
+	CurrentVisible     int // victims' last statements visible in processlist
+	HistoryRecovered   int // victim statements in events_statements_history
+	HistoryExpected    int // threads × min(queries, historySize)
+	DigestTypes        int
+	DigestTotalQueries uint64 // sum of digest counts == total statements executed
+}
+
+// Name implements Result.
+func (*E10Result) Name() string { return "E10" }
+
+// Render implements Result.
+func (r *E10Result) Render() string {
+	t := &table{header: []string{"diagnostic table", "attacker obtains"}}
+	t.add("processlist", fmt.Sprintf("last statement of %d/%d victim threads", r.CurrentVisible, r.Threads))
+	t.add("events_statements_history", fmt.Sprintf("%d/%d recent victim statements (%d per thread)", r.HistoryRecovered, r.HistoryExpected, r.HistoryPerThread))
+	t.add("events_statements_summary_by_digest", fmt.Sprintf("%d query types, %d total queries histogrammed", r.DigestTypes, r.DigestTotalQueries))
+	return "E10 (§4): diagnostic tables through a single injected SELECT\n" + t.String()
+}
+
+// E10Diagnostics runs several victim sessions, then reads everything
+// back through injected SELECTs on a separate attacker session.
+func E10Diagnostics(quick bool) (*E10Result, error) {
+	threads, perThread := 5, 40
+	if quick {
+		threads, perThread = 3, 15
+	}
+	e, err := engine.New(engine.Defaults())
+	if err != nil {
+		return nil, err
+	}
+	setup := e.Connect("dba")
+	if _, err := setup.Execute("CREATE TABLE salaries (id INT PRIMARY KEY, name TEXT, amount INT)"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 50; i++ {
+		q := fmt.Sprintf("INSERT INTO salaries (id, name, amount) VALUES (%d, 'emp%02d', %d)", i, i, 50000+i*1000)
+		if _, err := setup.Execute(q); err != nil {
+			return nil, err
+		}
+	}
+	for th := 0; th < threads; th++ {
+		v := e.Connect(fmt.Sprintf("victim%d", th))
+		for i := 0; i < perThread; i++ {
+			q := fmt.Sprintf("SELECT name FROM salaries WHERE amount >= %d AND amount <= %d", 50000+i*500, 60000+i*500)
+			if _, err := v.Execute(q); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// --- The attack: injected SELECTs on the diagnostic tables. ---
+	attacker := e.Connect("attacker")
+	proc, err := attacker.Execute("SELECT * FROM information_schema.processlist")
+	if err != nil {
+		return nil, err
+	}
+	res := &E10Result{
+		Quick:            quick,
+		Threads:          threads,
+		QueriesPerThread: perThread,
+		HistoryPerThread: e.PerfSchema().HistorySize(),
+	}
+	for _, row := range proc.Rows {
+		if strings.HasPrefix(row[1].Str, "victim") && strings.Contains(row[4].Str, "SELECT name FROM salaries") {
+			res.CurrentVisible++
+		}
+	}
+	hist, err := attacker.Execute("SELECT * FROM performance_schema.events_statements_history")
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range hist.Rows {
+		if strings.Contains(row[2].Str, "SELECT name FROM salaries") {
+			res.HistoryRecovered++
+		}
+	}
+	expectPer := perThread
+	if expectPer > res.HistoryPerThread {
+		expectPer = res.HistoryPerThread
+	}
+	res.HistoryExpected = threads * expectPer
+
+	digest, err := attacker.Execute("SELECT * FROM performance_schema.events_statements_summary_by_digest")
+	if err != nil {
+		return nil, err
+	}
+	res.DigestTypes = len(digest.Rows)
+	for _, row := range digest.Rows {
+		res.DigestTotalQueries += uint64(row[2].Int)
+	}
+	// The snapshot package must agree with the injected view (the
+	// attacker's own diagnostic queries add rows of their own, so the
+	// snapshot can only be a superset).
+	snap := snapshot.Capture(e, snapshot.SQLInjection)
+	if len(snap.Diagnostics.DigestSummary) < res.DigestTypes {
+		return nil, fmt.Errorf("E10: snapshot digest rows %d < injected view %d",
+			len(snap.Diagnostics.DigestSummary), res.DigestTypes)
+	}
+	if res.HistoryRecovered != res.HistoryExpected {
+		return nil, fmt.Errorf("E10: history recovered %d, expected %d", res.HistoryRecovered, res.HistoryExpected)
+	}
+	return res, nil
+}

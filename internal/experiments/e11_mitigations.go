@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"snapdb/internal/engine"
+	"snapdb/internal/mitigate"
+	"snapdb/internal/snapshot"
+)
+
+// E11Result makes the paper's §7 discussion quantitative: hardening the
+// DBMS configuration closes the volatile/diagnostic channels, but the
+// channels that exist because of ACID and replication — the WAL and the
+// binlog — remain. "There is no such thing as a snapshot attacker who
+// cannot observe past queries."
+type E11Result struct {
+	Comparison *mitigate.Comparison
+	ClosedBy   int // channels hardening closed
+	Inherent   int // channels that remain
+}
+
+// Name implements Result.
+func (*E11Result) Name() string { return "E11" }
+
+// Render implements Result.
+func (r *E11Result) Render() string {
+	return "E11 (§7): what hardening can and cannot close\n" + r.Comparison.Render()
+}
+
+// E11Mitigations runs the hardening comparison on a mixed workload
+// under a full-system compromise (the strongest snapshot).
+func E11Mitigations(quick bool) (*E11Result, error) {
+	statements := 200
+	if quick {
+		statements = 60
+	}
+	workload := func(e *engine.Engine) error {
+		s := e.Connect("app")
+		if _, err := s.Execute("CREATE TABLE orders (id INT PRIMARY KEY, customer TEXT, total INT)"); err != nil {
+			return err
+		}
+		for i := 0; i < statements; i++ {
+			var q string
+			switch i % 4 {
+			case 0:
+				q = fmt.Sprintf("INSERT INTO orders (id, customer, total) VALUES (%d, 'cust%03d', %d)", i, i, 10+i)
+			case 1:
+				q = fmt.Sprintf("SELECT total FROM orders WHERE id = %d", i-1)
+			case 2:
+				q = fmt.Sprintf("UPDATE orders SET total = %d WHERE id = %d", 99+i, i-2)
+			default:
+				q = "SELECT COUNT(*) FROM orders"
+			}
+			if _, err := s.Execute(q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cmp, err := mitigate.Compare(engine.Defaults(), true, snapshot.FullCompromise, workload)
+	if err != nil {
+		return nil, fmt.Errorf("E11: %w", err)
+	}
+	res := &E11Result{Comparison: cmp, Inherent: len(cmp.Inherent)}
+	for _, ch := range cmp.Channels {
+		if ch.Closed {
+			res.ClosedBy++
+		}
+	}
+	if res.Inherent == 0 {
+		return nil, fmt.Errorf("E11: hardening closed everything; the WAL channel must remain")
+	}
+	return res, nil
+}

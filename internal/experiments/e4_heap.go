@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snapdb/internal/engine"
+	"snapdb/internal/forensics"
+	"snapdb/internal/snapshot"
+)
+
+// E4Result reproduces the §5 memory experiment: issue one marked query
+// containing a random string, drown it in ordinary traffic (the paper
+// uses 102,000 statements), then dump the process memory. The paper
+// found the full query text in 3 distinct locations and the random
+// string in 3 more.
+type E4Result struct {
+	Quick             bool
+	FollowupQueries   int
+	MarkedQuery       string
+	FullTextHits      int // occurrences of the complete marked query
+	RandomStringHits  int // occurrences of the random string itself
+	PaperFullText     int
+	PaperRandomString int
+}
+
+// Name implements Result.
+func (*E4Result) Name() string { return "E4" }
+
+// Render implements Result.
+func (r *E4Result) Render() string {
+	t := &table{header: []string{"needle", "locations in heap dump", "paper"}}
+	t.add("full marked query text", fmt.Sprintf("%d", r.FullTextHits), fmt.Sprintf("%d", r.PaperFullText))
+	t.add("random string", fmt.Sprintf("%d", r.RandomStringHits), fmt.Sprintf(">=%d", r.PaperRandomString))
+	return fmt.Sprintf("E4 (§5): query residue in process memory after %d follow-up statements\n", r.FollowupQueries) + t.String()
+}
+
+// randomIdent returns a deterministic pseudo-random identifier of n
+// letters (the paper used a random string as a column name).
+func randomIdent(n int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// E4HeapResidue runs the paper's exact protocol:
+//
+//  1. a SELECT naming a random string that appears nowhere in the
+//     database (it fails — no such column — like in MySQL, where it
+//     matched no rows);
+//  2. 100 SELECTs that match rows and 900 that do not;
+//  3. 500 random-row INSERTs;
+//  4. 1,000 more SELECTs;
+//  5. 100,000 more SELECTs (10,000 in quick mode);
+//  6. dump the process memory and search it.
+func E4HeapResidue(quick bool) (*E4Result, error) {
+	finalSelects := 100_000
+	if quick {
+		finalSelects = 10_000
+	}
+	e, err := engine.New(engine.Defaults())
+	if err != nil {
+		return nil, err
+	}
+	s := e.Connect("app")
+	if _, err := s.Execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := s.Execute(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, 'seed-row-%03d')", i, i)); err != nil {
+			return nil, err
+		}
+	}
+
+	// An 80-letter random identifier, so the marked query occupies a
+	// heap size class none of the follow-up traffic allocates in — the
+	// property that let the paper's marked query survive 102k
+	// statements in MySQL's heap.
+	marker := randomIdent(80, 42)
+	marked := fmt.Sprintf("SELECT %s FROM t", marker)
+	if _, err := s.Execute(marked); err == nil {
+		return nil, fmt.Errorf("E4: marked query unexpectedly succeeded")
+	}
+
+	sel := func(i, span int) error {
+		_, err := s.Execute(fmt.Sprintf("SELECT v FROM t WHERE id = %d", i%span))
+		return err
+	}
+	for i := 0; i < 100; i++ { // matching
+		if err := sel(i, 100); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < 900; i++ { // non-matching (ids past the data)
+		if _, err := s.Execute(fmt.Sprintf("SELECT v FROM t WHERE id = %d", 1_000_000+i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < 500; i++ { // 500 random rows
+		if _, err := s.Execute(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, 'random-%06d')", 1000+i, i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if err := sel(i, 1500); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < finalSelects; i++ {
+		if err := sel(i, 1500); err != nil {
+			return nil, err
+		}
+	}
+
+	snap := snapshot.Capture(e, snapshot.VMSnapshotLeak)
+	res := &E4Result{
+		Quick:             quick,
+		FollowupQueries:   100 + 900 + 500 + 1000 + finalSelects,
+		MarkedQuery:       marked,
+		FullTextHits:      forensics.CountOccurrences(snap.Memory.HeapImage, marked),
+		RandomStringHits:  forensics.CountOccurrences(snap.Memory.HeapImage, marker),
+		PaperFullText:     3,
+		PaperRandomString: 3,
+	}
+	if res.FullTextHits == 0 {
+		return nil, fmt.Errorf("E4: marked query not found in heap dump")
+	}
+	return res, nil
+}

@@ -1,0 +1,88 @@
+// Package experiments regenerates every table and figure in the
+// paper's demonstrations. Each experiment Exx returns a structured
+// result with a Render method; cmd/experiments prints them and the
+// repository-root benchmarks time them. Quick variants shrink
+// workloads so the suite runs in CI time; the full variants match the
+// paper's parameters.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is a rendered experiment outcome.
+type Result interface {
+	// Name returns the experiment id (e.g. "E5").
+	Name() string
+	// Render formats the experiment's table.
+	Render() string
+}
+
+// table is a minimal fixed-width table renderer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// All runs every experiment with the given scale.
+func All(quick bool) ([]Result, error) {
+	runs := []func(bool) (Result, error){
+		func(bool) (Result, error) { return E1Figure1() },
+		func(q bool) (Result, error) { return E2LogRetention(q) },
+		func(q bool) (Result, error) { return E3BinlogCorrelation(q) },
+		func(q bool) (Result, error) { return E4HeapResidue(q) },
+		func(q bool) (Result, error) { return E5LewiWu(q) },
+		func(q bool) (Result, error) { return E6CountAttack(q) },
+		func(q bool) (Result, error) { return E7Seabed(q) },
+		func(q bool) (Result, error) { return E8Arx(q) },
+		func(bool) (Result, error) { return E9AtRest() },
+		func(q bool) (Result, error) { return E10Diagnostics(q) },
+		func(q bool) (Result, error) { return E11Mitigations(q) },
+	}
+	out := make([]Result, 0, len(runs))
+	for _, run := range runs {
+		res, err := run(quick)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package forensics
+
+import (
+	"fmt"
+
+	"snapdb/internal/sqlparse"
+	"snapdb/internal/storage"
+)
+
+// LeafRange is the key span of one B+tree leaf page, recovered from the
+// stolen tablespace.
+type LeafRange struct {
+	Page     storage.PageID
+	Min, Max sqlparse.Value
+	Records  int
+}
+
+// LeafRanges scans a tablespace image and returns the key range of
+// every live B+tree leaf page. Together with a buffer-pool dump this
+// realizes §3's claim that the dump "reveals the paths through the
+// B+ tree that MySQL took" for recent SELECTs: the most recently used
+// leaf pages are exactly the key ranges the last queries touched.
+//
+// For an encrypted database the keys are ciphertexts — but under OPE
+// (CryptDB primary keys) their order is plaintext order, so the ranges
+// remain meaningful to the attacker.
+func LeafRanges(tablespaceImg []byte) (map[storage.PageID]LeafRange, error) {
+	ts, err := storage.LoadTablespace(tablespaceImg)
+	if err != nil {
+		return nil, fmt.Errorf("forensics: %w", err)
+	}
+	out := make(map[storage.PageID]LeafRange)
+	for id := storage.PageID(0); int(id) < ts.NumPages(); id++ {
+		p, err := ts.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		if p.Type() != storage.PageBTreeLeaf {
+			continue
+		}
+		lr := LeafRange{Page: id}
+		for slot := 0; slot < p.SlotCount(); slot++ {
+			b := p.SlotBytes(slot)
+			if b == nil {
+				continue
+			}
+			rec, _, err := storage.DecodeRecord(b)
+			if err != nil || len(rec) == 0 {
+				continue // deleted-slot residue may be unparseable; skip
+			}
+			key := rec[0]
+			if lr.Records == 0 {
+				lr.Min, lr.Max = key, key
+			} else {
+				if key.Compare(lr.Min) < 0 {
+					lr.Min = key
+				}
+				if key.Compare(lr.Max) > 0 {
+					lr.Max = key
+				}
+			}
+			lr.Records++
+		}
+		if lr.Records > 0 {
+			out[id] = lr
+		}
+	}
+	return out, nil
+}
+
+// RecentAccessRanges joins a buffer-pool dump's LRU order with the
+// recovered leaf ranges: the key spans of the most recently used leaf
+// pages, most recent first, up to limit entries. Non-leaf pages
+// (internal nodes, header) are skipped — they are on every path.
+func RecentAccessRanges(lru []storage.PageID, leaves map[storage.PageID]LeafRange, limit int) []LeafRange {
+	if limit <= 0 {
+		limit = len(lru)
+	}
+	var out []LeafRange
+	for _, id := range lru {
+		if lr, ok := leaves[id]; ok {
+			out = append(out, lr)
+			if len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+// Package heap simulates the DBMS process heap. Its single important
+// property is the one §5 of the paper demonstrates in MySQL: memory is
+// never securely deleted. Free marks a block reusable but does not zero
+// it, and a reused block is only overwritten up to the new allocation's
+// length, so fragments of freed query strings persist indefinitely and
+// show up in a memory dump.
+//
+// The engine routes every allocation that carries query text through an
+// Arena so that a MemorySnapshot's heap image faithfully reproduces the
+// paper's experiment.
+package heap
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Ptr identifies an allocation within an arena.
+type Ptr int
+
+// block is the allocator's metadata for one block.
+type block struct {
+	off  int
+	size int // class-rounded capacity
+	used int // bytes of the current (or last) occupant
+	free bool
+}
+
+// classSize rounds a request up to its size class. 16-byte classes
+// mirror the exact-size-class bins of production allocators (glibc
+// tcache): a freed block is only reused for requests in the same class.
+func classSize(n int) int {
+	const granule = 16
+	if n == 0 {
+		return granule
+	}
+	return (n + granule - 1) / granule * granule
+}
+
+// Arena is a growable heap slab with per-size-class LIFO free lists and
+// no secure deletion. The discipline mirrors production allocators
+// (glibc tcache/fastbins): the most recently freed block of the right
+// class is reused first, so steady-state churn recycles its own recent
+// blocks while early-freed blocks of other classes sink and survive —
+// which is why the paper could find the text of its very first query in
+// MySQL's heap after 102,000 later queries.
+type Arena struct {
+	mu     sync.Mutex
+	slab   []byte
+	blocks []block
+	bins   map[int][]int // size class -> block indices, most recently freed last
+
+	// SecureDelete zeroizes blocks on Free — the mitigation the paper's
+	// §5 observes MySQL lacks. Off by default, like every real DBMS.
+	SecureDelete bool
+
+	allocs, frees, reuses uint64
+}
+
+// NewArena creates an empty arena.
+func NewArena() *Arena { return &Arena{bins: make(map[int][]int)} }
+
+// Alloc stores data in the heap and returns its pointer. A block is
+// reused only from the request's own size class (newest-first); a
+// reused block is only overwritten up to len(data), so tail bytes keep
+// their previous contents.
+func (a *Arena) Alloc(data []byte) Ptr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.allocs++
+	cls := classSize(len(data))
+	if bin := a.bins[cls]; len(bin) > 0 {
+		bi := bin[len(bin)-1]
+		a.bins[cls] = bin[:len(bin)-1]
+		b := &a.blocks[bi]
+		copy(a.slab[b.off:], data)
+		b.free = false
+		b.used = len(data)
+		a.reuses++
+		// The block keeps its class-sized capacity; the gap past
+		// len(data) still holds residue from the prior occupant.
+		return Ptr(bi)
+	}
+	off := len(a.slab)
+	a.slab = append(a.slab, data...)
+	a.slab = append(a.slab, make([]byte, cls-len(data))...)
+	a.blocks = append(a.blocks, block{off: off, size: cls, used: len(data)})
+	return Ptr(len(a.blocks) - 1)
+}
+
+// AllocString stores a string.
+func (a *Arena) AllocString(s string) Ptr { return a.Alloc([]byte(s)) }
+
+// Free marks the block reusable. The bytes remain in the slab unless
+// SecureDelete is set.
+func (a *Arena) Free(p Ptr) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if int(p) < 0 || int(p) >= len(a.blocks) {
+		return fmt.Errorf("heap: free of invalid pointer %d", p)
+	}
+	if a.blocks[p].free {
+		return fmt.Errorf("heap: double free of pointer %d", p)
+	}
+	if a.SecureDelete {
+		b := a.blocks[p]
+		for i := b.off; i < b.off+b.size; i++ {
+			a.slab[i] = 0
+		}
+	}
+	a.blocks[p].free = true
+	cls := a.blocks[p].size
+	a.bins[cls] = append(a.bins[cls], int(p))
+	a.frees++
+	return nil
+}
+
+// Read returns a copy of the block's current bytes (whatever occupies
+// that region now — callers that freed the block may see other data).
+func (a *Arena) Read(p Ptr) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if int(p) < 0 || int(p) >= len(a.blocks) {
+		return nil, fmt.Errorf("heap: read of invalid pointer %d", p)
+	}
+	b := a.blocks[p]
+	out := make([]byte, b.used)
+	copy(out, a.slab[b.off:b.off+b.used])
+	return out, nil
+}
+
+// Dump returns a copy of the entire slab — the process-memory image a
+// whole-system snapshot captures.
+func (a *Arena) Dump() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]byte, len(a.slab))
+	copy(out, a.slab)
+	return out
+}
+
+// Size returns the slab size in bytes.
+func (a *Arena) Size() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.slab)
+}
+
+// Stats reports allocation counters.
+func (a *Arena) Stats() (allocs, frees, reuses uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.allocs, a.frees, a.reuses
+}

@@ -1,0 +1,205 @@
+package heap
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocRead(t *testing.T) {
+	a := NewArena()
+	p := a.AllocString("hello heap")
+	got, err := a.Read(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello heap" {
+		t.Errorf("Read = %q", got)
+	}
+}
+
+func TestFreeLeavesResidue(t *testing.T) {
+	a := NewArena()
+	secret := "SELECT * FROM t WHERE ssn = '123-45-6789'"
+	p := a.AllocString(secret)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(a.Dump(), []byte(secret)) {
+		t.Error("freed bytes were scrubbed; the arena must keep residue")
+	}
+}
+
+func TestReuseOverwritesOnlyPrefix(t *testing.T) {
+	a := NewArena()
+	p := a.AllocString("AAAAAAAAAAAAAAAAAAAA") // 20 bytes, class 32
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	a.AllocString("BBBBBBBBBBBBBBBBB") // 17 bytes: same class, reused
+	dump := a.Dump()
+	if !bytes.Contains(dump, []byte("BBBBBBBBBBBBBBBBB")) {
+		t.Error("new allocation not visible")
+	}
+	if !bytes.Contains(dump, []byte("AAA")) { // trailing As survive past 17 bytes
+		t.Error("tail residue of reused block destroyed")
+	}
+	_, _, reuses := a.Stats()
+	if reuses != 1 {
+		t.Errorf("reuses = %d", reuses)
+	}
+}
+
+func TestSizeClassesIsolateReuse(t *testing.T) {
+	a := NewArena()
+	small := a.AllocString("xy") // class 16
+	if err := a.Free(small); err != nil {
+		t.Fatal(err)
+	}
+	p := a.AllocString("this needs a bigger size class than xy") // class 48
+	got, _ := a.Read(p)
+	if !bytes.HasPrefix(got, []byte("this needs")) {
+		t.Errorf("Read = %q", got)
+	}
+	// The small freed block must be intact: different class.
+	if !bytes.Contains(a.Dump(), []byte("xy")) {
+		t.Error("free block of another size class was clobbered")
+	}
+	if _, _, reuses := a.Stats(); reuses != 0 {
+		t.Error("cross-class reuse happened")
+	}
+}
+
+func TestDoubleFreeAndBadPointers(t *testing.T) {
+	a := NewArena()
+	p := a.AllocString("x")
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err == nil {
+		t.Error("double free accepted")
+	}
+	if err := a.Free(Ptr(99)); err == nil {
+		t.Error("invalid free accepted")
+	}
+	if _, err := a.Read(Ptr(-1)); err == nil {
+		t.Error("invalid read accepted")
+	}
+}
+
+func TestDumpIsACopy(t *testing.T) {
+	a := NewArena()
+	a.AllocString("original")
+	d := a.Dump()
+	for i := range d {
+		d[i] = 0
+	}
+	if !bytes.Contains(a.Dump(), []byte("original")) {
+		t.Error("mutating a dump mutated the arena")
+	}
+}
+
+func TestSizeGrowth(t *testing.T) {
+	a := NewArena()
+	if a.Size() != 0 {
+		t.Errorf("fresh arena size = %d", a.Size())
+	}
+	a.AllocString("0123456789") // class 16
+	if a.Size() != 16 {
+		t.Errorf("size = %d, want 16 (class-rounded)", a.Size())
+	}
+	p := a.AllocString("abc")
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	a.AllocString("ab") // same class: reuse, size must not grow
+	if a.Size() != 32 {
+		t.Errorf("size after reuse = %d, want 32", a.Size())
+	}
+}
+
+func TestLIFOReuse(t *testing.T) {
+	a := NewArena()
+	early := a.AllocString("EARLY-FREED-QUERY-TEXT")
+	late := a.AllocString("LATE-FREED-QUERY-TEXTX")
+	if err := a.Free(early); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(late); err != nil {
+		t.Fatal(err)
+	}
+	// Same-size alloc must reuse the most recently freed block (late),
+	// leaving the early block's residue intact.
+	a.AllocString("REPLACEMENT-TEXT-HERE!")
+	dump := a.Dump()
+	if !bytes.Contains(dump, []byte("EARLY-FREED-QUERY-TEXT")) {
+		t.Error("early-freed block was reused before the recently freed one (free list must be LIFO)")
+	}
+	if bytes.Contains(dump, []byte("LATE-FREED-QUERY-TEXTX")) {
+		t.Error("most recently freed block was not reused")
+	}
+}
+
+func TestSteadyStateChurnPreservesFirstQuery(t *testing.T) {
+	// Model of the paper's §5 experiment: one early query, then heavy
+	// churn of same-sized queries. The first query's text must survive.
+	a := NewArena()
+	marker := "SELECT xq7RkP2v FROM t WHERE a = 1"
+	p := a.AllocString(marker)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		// Churn queries land in a different size class than the marker,
+		// as in the paper's experiment (its marked query carried a long
+		// random string).
+		q := a.AllocString("SELECT name, age FROM customers WHERE state = 'AZ'")
+		if err := a.Free(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Contains(a.Dump(), []byte(marker)) {
+		t.Error("first query's residue destroyed by steady-state churn")
+	}
+}
+
+func TestQuickAllocReadRoundTrip(t *testing.T) {
+	a := NewArena()
+	f := func(data []byte) bool {
+		p := a.Alloc(data)
+		got, err := a.Read(p)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickResidueSurvivesFree(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		a := NewArena()
+		p := a.Alloc(data)
+		if err := a.Free(p); err != nil {
+			return false
+		}
+		return bytes.Contains(a.Dump(), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAllocFree(b *testing.B) {
+	a := NewArena()
+	data := []byte("SELECT * FROM customers WHERE state = 'IN'")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := a.Alloc(data)
+		if err := a.Free(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package infoschema implements the engine's information_schema
+// analog, most importantly the processlist table: the timestamped list
+// of all currently executing queries across connections. §4 of the
+// paper notes that a single injected SELECT on this table reveals the
+// live queries of every other user.
+package infoschema
+
+import (
+	"sort"
+	"sync"
+)
+
+// Process is one row of the processlist.
+type Process struct {
+	ID        int // connection id
+	User      string
+	State     string // "executing" or "idle"
+	Started   int64  // UNIX seconds the current query started
+	Statement string // current query text, empty when idle
+}
+
+// Processlist tracks live connections.
+type Processlist struct {
+	mu    sync.Mutex
+	procs map[int]*Process
+
+	// Scrub clears the statement text when a query finishes instead of
+	// leaving it visible until replaced (MySQL leaves it; scrubbing is
+	// a hardening measure).
+	Scrub bool
+}
+
+// New creates an empty processlist.
+func New() *Processlist {
+	return &Processlist{procs: make(map[int]*Process)}
+}
+
+// Register adds a connection.
+func (p *Processlist) Register(id int, user string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.procs[id] = &Process{ID: id, User: user, State: "idle"}
+}
+
+// Unregister removes a connection.
+func (p *Processlist) Unregister(id int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.procs, id)
+}
+
+// SetQuery marks the connection as executing stmt.
+func (p *Processlist) SetQuery(id int, stmt string, ts int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if proc, ok := p.procs[id]; ok {
+		proc.State = "executing"
+		proc.Statement = stmt
+		proc.Started = ts
+	}
+}
+
+// ClearQuery marks the connection idle. Like MySQL's processlist, the
+// last statement remains visible in the Info column until replaced —
+// we keep it in Statement with State "idle" — unless Scrub is set.
+func (p *Processlist) ClearQuery(id int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if proc, ok := p.procs[id]; ok {
+		proc.State = "idle"
+		if p.Scrub {
+			proc.Statement = ""
+			proc.Started = 0
+		}
+	}
+}
+
+// Snapshot returns all rows ordered by connection id.
+func (p *Processlist) Snapshot() []Process {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Process, 0, len(p.procs))
+	for _, proc := range p.procs {
+		out = append(out, *proc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

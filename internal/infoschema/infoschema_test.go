@@ -1,0 +1,49 @@
+package infoschema
+
+import "testing"
+
+func TestRegisterSetClear(t *testing.T) {
+	p := New()
+	p.Register(1, "app")
+	p.Register(2, "analytics")
+	p.SetQuery(2, "SELECT * FROM salaries", 500)
+
+	rows := p.Snapshot()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].ID != 1 || rows[0].State != "idle" {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if rows[1].Statement != "SELECT * FROM salaries" || rows[1].State != "executing" || rows[1].Started != 500 {
+		t.Errorf("row 1 = %+v", rows[1])
+	}
+
+	p.ClearQuery(2)
+	rows = p.Snapshot()
+	if rows[1].State != "idle" {
+		t.Error("ClearQuery did not idle the connection")
+	}
+	// Paper-relevant: the last statement stays visible after completion.
+	if rows[1].Statement != "SELECT * FROM salaries" {
+		t.Error("last statement scrubbed from processlist")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	p := New()
+	p.Register(1, "u")
+	p.Unregister(1)
+	if len(p.Snapshot()) != 0 {
+		t.Error("unregistered connection still listed")
+	}
+}
+
+func TestSetQueryUnknownConnection(t *testing.T) {
+	p := New()
+	p.SetQuery(9, "SELECT 1", 1) // must not panic
+	p.ClearQuery(9)
+	if len(p.Snapshot()) != 0 {
+		t.Error("phantom connection appeared")
+	}
+}

@@ -1,0 +1,177 @@
+// Package perfschema implements the engine's performance_schema
+// analog: per-thread current and recent statements plus per-digest
+// summary statistics. §4 of the paper shows that these tables, which
+// exist to help administrators tune workloads, hand a SQL-injection
+// attacker (and a fortiori a memory-snapshot attacker) the text of
+// currently executing queries, the last N queries of every thread, and
+// a histogram of query *types* since the last restart — the histogram
+// that breaks Seabed's SPLASHE.
+package perfschema
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"snapdb/internal/sqlparse"
+)
+
+// DefaultHistoryPerThread matches performance_schema's default
+// events_statements_history size of 10 rows per thread.
+const DefaultHistoryPerThread = 10
+
+// StatementEvent is one row of events_statements_current or
+// events_statements_history.
+type StatementEvent struct {
+	Thread       int
+	Timestamp    int64 // UNIX seconds at statement start
+	Statement    string
+	Digest       string
+	DigestText   string
+	RowsExamined int
+	RowsReturned int
+	Duration     time.Duration
+	Done         bool
+}
+
+// DigestRow is one row of events_statements_summary_by_digest.
+type DigestRow struct {
+	Digest          string
+	DigestText      string
+	Count           uint64
+	SumRowsExamined uint64
+	SumRowsReturned uint64
+	FirstSeen       int64
+	LastSeen        int64
+}
+
+// Schema is the performance_schema state for one engine instance.
+type Schema struct {
+	mu          sync.Mutex
+	historySize int
+	current     map[int]*StatementEvent
+	history     map[int][]StatementEvent // per thread, oldest first, capped
+	digests     map[string]*DigestRow
+}
+
+// New creates a schema with the given per-thread history size (0 means
+// DefaultHistoryPerThread).
+func New(historySize int) *Schema {
+	if historySize <= 0 {
+		historySize = DefaultHistoryPerThread
+	}
+	return &Schema{
+		historySize: historySize,
+		current:     make(map[int]*StatementEvent),
+		history:     make(map[int][]StatementEvent),
+		digests:     make(map[string]*DigestRow),
+	}
+}
+
+// BeginStatement records that thread is now executing stmt.
+func (s *Schema) BeginStatement(thread int, stmt string, ts int64) {
+	digest := sqlparse.DigestHash(stmt)
+	ev := &StatementEvent{
+		Thread:     thread,
+		Timestamp:  ts,
+		Statement:  stmt,
+		Digest:     digest,
+		DigestText: sqlparse.Digest(stmt),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.current[thread] = ev
+}
+
+// EndStatement finalizes the thread's current statement with its
+// execution statistics, moving it into the history ring and the digest
+// summary.
+func (s *Schema) EndStatement(thread, rowsExamined, rowsReturned int, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev, ok := s.current[thread]
+	if !ok {
+		return
+	}
+	ev.RowsExamined = rowsExamined
+	ev.RowsReturned = rowsReturned
+	ev.Duration = d
+	ev.Done = true
+
+	h := append(s.history[thread], *ev)
+	if len(h) > s.historySize {
+		h = h[len(h)-s.historySize:]
+	}
+	s.history[thread] = h
+
+	row, ok := s.digests[ev.Digest]
+	if !ok {
+		row = &DigestRow{Digest: ev.Digest, DigestText: ev.DigestText, FirstSeen: ev.Timestamp}
+		s.digests[ev.Digest] = row
+	}
+	row.Count++
+	row.SumRowsExamined += uint64(rowsExamined)
+	row.SumRowsReturned += uint64(rowsReturned)
+	row.LastSeen = ev.Timestamp
+}
+
+// Current returns events_statements_current: the statement each thread
+// is executing (or last executed, like the real table).
+func (s *Schema) Current() []StatementEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StatementEvent, 0, len(s.current))
+	for _, ev := range s.current {
+		out = append(out, *ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Thread < out[j].Thread })
+	return out
+}
+
+// History returns events_statements_history: the most recent statements
+// of every thread (up to historySize each), oldest first per thread.
+func (s *Schema) History() []StatementEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []StatementEvent
+	threads := make([]int, 0, len(s.history))
+	for th := range s.history {
+		threads = append(threads, th)
+	}
+	sort.Ints(threads)
+	for _, th := range threads {
+		out = append(out, s.history[th]...)
+	}
+	return out
+}
+
+// DigestSummary returns events_statements_summary_by_digest rows,
+// ordered by descending count (ties by digest text). This is the
+// per-query-type histogram accumulated since the last restart.
+func (s *Schema) DigestSummary() []DigestRow {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DigestRow, 0, len(s.digests))
+	for _, row := range s.digests {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].DigestText < out[j].DigestText
+	})
+	return out
+}
+
+// Reset clears all statistics, as a server restart does.
+func (s *Schema) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.current = make(map[int]*StatementEvent)
+	s.history = make(map[int][]StatementEvent)
+	s.digests = make(map[string]*DigestRow)
+}
+
+// HistorySize returns the configured per-thread history depth.
+func (s *Schema) HistorySize() int { return s.historySize }

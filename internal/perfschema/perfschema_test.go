@@ -1,0 +1,139 @@
+package perfschema
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestCurrentStatement(t *testing.T) {
+	s := New(0)
+	s.BeginStatement(1, "SELECT * FROM t WHERE a = 1", 100)
+	cur := s.Current()
+	if len(cur) != 1 || cur[0].Statement != "SELECT * FROM t WHERE a = 1" || cur[0].Done {
+		t.Fatalf("current = %+v", cur)
+	}
+	s.EndStatement(1, 10, 2, time.Millisecond)
+	cur = s.Current()
+	if !cur[0].Done || cur[0].RowsExamined != 10 || cur[0].RowsReturned != 2 {
+		t.Errorf("finished current = %+v", cur[0])
+	}
+}
+
+func TestHistoryCapPerThread(t *testing.T) {
+	s := New(0)
+	if s.HistorySize() != DefaultHistoryPerThread {
+		t.Fatalf("history size = %d", s.HistorySize())
+	}
+	for i := 0; i < 25; i++ {
+		s.BeginStatement(1, fmt.Sprintf("SELECT %d FROM t", i), int64(i))
+		s.EndStatement(1, 1, 1, 0)
+	}
+	h := s.History()
+	if len(h) != DefaultHistoryPerThread {
+		t.Fatalf("history holds %d, want %d", len(h), DefaultHistoryPerThread)
+	}
+	// Oldest retained entry is statement 15.
+	if h[0].Timestamp != 15 || h[len(h)-1].Timestamp != 24 {
+		t.Errorf("history range = [%d, %d]", h[0].Timestamp, h[len(h)-1].Timestamp)
+	}
+}
+
+func TestHistoryMultipleThreads(t *testing.T) {
+	s := New(3)
+	for th := 1; th <= 2; th++ {
+		for i := 0; i < 2; i++ {
+			s.BeginStatement(th, fmt.Sprintf("SELECT %d", i), int64(i))
+			s.EndStatement(th, 0, 0, 0)
+		}
+	}
+	h := s.History()
+	if len(h) != 4 {
+		t.Fatalf("history = %d entries", len(h))
+	}
+	if h[0].Thread != 1 || h[2].Thread != 2 {
+		t.Errorf("thread ordering wrong: %+v", h)
+	}
+}
+
+func TestDigestSummaryGroupsByCanonicalForm(t *testing.T) {
+	s := New(0)
+	// Two queries that differ only in literals: one digest row, count 2.
+	for _, state := range []string{"IN", "AZ"} {
+		q := "SELECT * FROM CUSTOMERS WHERE STATE='" + state + "'"
+		s.BeginStatement(1, q, 10)
+		s.EndStatement(1, 100, 5, 0)
+	}
+	// A structurally different query: its own row.
+	s.BeginStatement(1, "SELECT * FROM CUSTOMERS WHERE AGE >= 25", 11)
+	s.EndStatement(1, 100, 7, 0)
+
+	rows := s.DigestSummary()
+	if len(rows) != 2 {
+		t.Fatalf("digest rows = %d, want 2", len(rows))
+	}
+	if rows[0].Count != 2 {
+		t.Errorf("top digest count = %d", rows[0].Count)
+	}
+	if rows[0].SumRowsReturned != 10 {
+		t.Errorf("sum rows returned = %d", rows[0].SumRowsReturned)
+	}
+	if rows[0].FirstSeen != 10 || rows[0].LastSeen != 10 {
+		t.Errorf("seen range = [%d, %d]", rows[0].FirstSeen, rows[0].LastSeen)
+	}
+}
+
+func TestDigestTextHidesLiterals(t *testing.T) {
+	s := New(0)
+	s.BeginStatement(1, "SELECT * FROM t WHERE ssn = '078-05-1120'", 1)
+	s.EndStatement(1, 1, 1, 0)
+	rows := s.DigestSummary()
+	if len(rows) != 1 {
+		t.Fatal("no digest row")
+	}
+	for _, bad := range []string{"078-05-1120"} {
+		if contains(rows[0].DigestText, bad) {
+			t.Errorf("digest text leaks literal: %s", rows[0].DigestText)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestEndWithoutBeginIsNoop(t *testing.T) {
+	s := New(0)
+	s.EndStatement(9, 1, 1, 0)
+	if len(s.History()) != 0 || len(s.DigestSummary()) != 0 {
+		t.Error("EndStatement without Begin recorded something")
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	s := New(0)
+	s.BeginStatement(1, "SELECT 1 FROM t", 1)
+	s.EndStatement(1, 1, 1, 0)
+	s.Reset()
+	if len(s.Current()) != 0 || len(s.History()) != 0 || len(s.DigestSummary()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func BenchmarkStatementLifecycle(b *testing.B) {
+	s := New(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.BeginStatement(1, "SELECT * FROM t WHERE a = 1", int64(i))
+		s.EndStatement(1, 10, 1, time.Microsecond)
+	}
+}

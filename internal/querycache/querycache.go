@@ -1,0 +1,127 @@
+// Package querycache implements the engine's internal query cache: a
+// map from exact SELECT text to its result set, invalidated by writes
+// to the underlying table. MySQL's query cache works the same way and,
+// as §5 of the paper notes, it is strictly internal to the process —
+// invisible to SQL injection but fully visible to a whole-system
+// memory snapshot, complete with query texts and result rows.
+package querycache
+
+import (
+	"container/list"
+	"sync"
+
+	"snapdb/internal/storage"
+)
+
+// Entry is one cached query with its result.
+type Entry struct {
+	Query  string
+	Table  string
+	Result []storage.Record
+}
+
+// Cache is an LRU query cache.
+type Cache struct {
+	mu       sync.Mutex
+	Enabled  bool
+	capacity int
+	order    *list.List // front = most recent; values are *Entry
+	byQuery  map[string]*list.Element
+
+	hits, misses, invalidations uint64
+}
+
+// DefaultCapacity is the default entry capacity.
+const DefaultCapacity = 1024
+
+// New creates an enabled cache with the given entry capacity.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		Enabled:  true,
+		capacity: capacity,
+		order:    list.New(),
+		byQuery:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for the exact query text.
+func (c *Cache) Get(query string) ([]storage.Record, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.Enabled {
+		return nil, false
+	}
+	el, ok := c.byQuery[query]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*Entry).Result, true
+}
+
+// Put stores a query result.
+func (c *Cache) Put(query, table string, result []storage.Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.Enabled {
+		return
+	}
+	if el, ok := c.byQuery[query]; ok {
+		el.Value.(*Entry).Result = result
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byQuery[query] = c.order.PushFront(&Entry{Query: query, Table: table, Result: result})
+	if c.order.Len() > c.capacity {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.byQuery, back.Value.(*Entry).Query)
+	}
+}
+
+// InvalidateTable drops every entry whose query read the given table.
+func (c *Cache) InvalidateTable(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*Entry).Table == table {
+			c.order.Remove(el)
+			delete(c.byQuery, el.Value.(*Entry).Query)
+			c.invalidations++
+		}
+		el = next
+	}
+}
+
+// Entries returns the cached entries, most recent first. This is what a
+// memory snapshot of the process reveals.
+func (c *Cache) Entries() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*Entry)
+		out = append(out, Entry{Query: e.Query, Table: e.Table, Result: e.Result})
+	}
+	return out
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats reports hit/miss/invalidation counters.
+func (c *Cache) Stats() (hits, misses, invalidations uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.invalidations
+}

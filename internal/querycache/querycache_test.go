@@ -1,0 +1,139 @@
+package querycache
+
+import (
+	"fmt"
+	"testing"
+
+	"snapdb/internal/sqlparse"
+	"snapdb/internal/storage"
+)
+
+func result(vals ...int64) []storage.Record {
+	out := make([]storage.Record, len(vals))
+	for i, v := range vals {
+		out[i] = storage.Record{sqlparse.IntValue(v)}
+	}
+	return out
+}
+
+func TestPutGet(t *testing.T) {
+	c := New(8)
+	c.Put("SELECT * FROM t WHERE a = 1", "t", result(1, 2))
+	got, ok := c.Get("SELECT * FROM t WHERE a = 1")
+	if !ok || len(got) != 2 {
+		t.Fatalf("Get: ok=%v len=%d", ok, len(got))
+	}
+	if _, ok := c.Get("SELECT * FROM t WHERE a = 2"); ok {
+		t.Error("different literal hit the cache (cache must be exact-text keyed)")
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestInvalidateTable(t *testing.T) {
+	c := New(8)
+	c.Put("SELECT * FROM a", "a", result(1))
+	c.Put("SELECT * FROM b", "b", result(2))
+	c.InvalidateTable("a")
+	if _, ok := c.Get("SELECT * FROM a"); ok {
+		t.Error("invalidated entry still cached")
+	}
+	if _, ok := c.Get("SELECT * FROM b"); !ok {
+		t.Error("unrelated entry invalidated")
+	}
+	if _, _, inv := c.Stats(); inv != 1 {
+		t.Errorf("invalidations = %d", inv)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("q1", "t", result(1))
+	c.Put("q2", "t", result(2))
+	if _, ok := c.Get("q1"); !ok {
+		t.Fatal("q1 missing")
+	}
+	c.Put("q3", "t", result(3)) // evicts q2 (least recently used)
+	if _, ok := c.Get("q2"); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if _, ok := c.Get("q1"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	c := New(8)
+	c.Enabled = false
+	c.Put("q", "t", result(1))
+	if _, ok := c.Get("q"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	c := New(8)
+	c.Put("q", "t", result(1))
+	c.Put("q", "t", result(1, 2, 3))
+	got, ok := c.Get("q")
+	if !ok || len(got) != 3 {
+		t.Errorf("overwrite: ok=%v len=%d", ok, len(got))
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after overwrite", c.Len())
+	}
+}
+
+func TestEntriesExposeQueryText(t *testing.T) {
+	c := New(8)
+	secret := "SELECT * FROM patients WHERE diagnosis = 'hiv'"
+	c.Put(secret, "patients", result(12))
+	entries := c.Entries()
+	if len(entries) != 1 || entries[0].Query != secret {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].Result[0][0].Int != 12 {
+		t.Error("result rows not exposed")
+	}
+}
+
+func TestEntriesOrderMostRecentFirst(t *testing.T) {
+	c := New(8)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("q%d", i), "t", result(int64(i)))
+	}
+	_, _ = c.Get("q0")
+	entries := c.Entries()
+	if entries[0].Query != "q0" {
+		t.Errorf("most recent = %q", entries[0].Query)
+	}
+}
+
+func TestZeroCapacityUsesDefault(t *testing.T) {
+	c := New(0)
+	for i := 0; i < DefaultCapacity+10; i++ {
+		c.Put(fmt.Sprintf("q%d", i), "t", nil)
+	}
+	if c.Len() != DefaultCapacity {
+		t.Errorf("Len = %d, want %d", c.Len(), DefaultCapacity)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c := New(64)
+	c.Put("q", "t", result(1, 2, 3))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get("q"); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

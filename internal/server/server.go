@@ -1,0 +1,232 @@
+// Package server exposes a snapdb engine over TCP with a line-oriented
+// text protocol, giving the simulation the same shape as a production
+// deployment: remote clients, per-connection sessions (visible in the
+// processlist), and statement text that arrives through a real network
+// receive path before landing in the engine's heap.
+//
+// Protocol (all lines \n-terminated):
+//
+//	client → server:  one SQL statement per line
+//	server → client:  ERR <message>
+//	               |  OK <nrows> <affected> <fromcache>
+//	                  [COLS <name>\t<name>...]      when nrows > 0
+//	                  <value>\t<value>...           × nrows
+//
+// Values are typed: "i:<decimal>" for INT, "s:<escaped>" for TEXT,
+// with \\, \t, \n escaped inside strings.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"snapdb/internal/engine"
+	"snapdb/internal/sqlparse"
+)
+
+// Server serves one engine to many TCP clients.
+type Server struct {
+	eng *engine.Engine
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// New creates a server for the engine.
+func New(e *engine.Engine) *Server {
+	return &Server{eng: e, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		// Register under the lock so Close's wg.Wait can never race a
+		// late wg.Add: once closed is set, no new handler starts.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves. The returned channel
+// yields the bound address once listening (useful with ":0").
+func (s *Server) ListenAndServe(addr string, ready chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen: %w", err)
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	return s.Serve(ln)
+}
+
+// Close stops accepting, closes live connections, and waits for
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	sess := s.eng.Connect(conn.RemoteAddr().String())
+	defer sess.Close()
+
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	w := bufio.NewWriter(conn)
+	for r.Scan() {
+		line := strings.TrimRight(r.Text(), "\r")
+		if line == "" {
+			continue
+		}
+		res, err := sess.Execute(line)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		} else {
+			writeResult(w, res)
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func writeResult(w *bufio.Writer, res *engine.Result) {
+	fromCache := 0
+	if res.FromCache {
+		fromCache = 1
+	}
+	fmt.Fprintf(w, "OK %d %d %d\n", len(res.Rows), res.RowsAffected, fromCache)
+	if len(res.Rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "COLS %s\n", strings.Join(res.Columns, "\t"))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = EncodeValue(v)
+		}
+		fmt.Fprintf(w, "%s\n", strings.Join(parts, "\t"))
+	}
+}
+
+// EncodeValue renders a value in the wire format.
+func EncodeValue(v sqlparse.Value) string {
+	if v.IsInt {
+		return fmt.Sprintf("i:%d", v.Int)
+	}
+	return "s:" + escape(v.Str)
+}
+
+// DecodeValue parses a wire-format value.
+func DecodeValue(s string) (sqlparse.Value, error) {
+	switch {
+	case strings.HasPrefix(s, "i:"):
+		var n int64
+		if _, err := fmt.Sscanf(s[2:], "%d", &n); err != nil {
+			return sqlparse.Value{}, fmt.Errorf("server: bad int %q: %w", s, err)
+		}
+		return sqlparse.IntValue(n), nil
+	case strings.HasPrefix(s, "s:"):
+		str, err := unescape(s[2:])
+		if err != nil {
+			return sqlparse.Value{}, err
+		}
+		return sqlparse.StrValue(str), nil
+	default:
+		return sqlparse.Value{}, fmt.Errorf("server: bad value tag in %q", s)
+	}
+}
+
+func escape(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
+func unescape(s string) (string, error) {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			sb.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("server: dangling escape in %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			sb.WriteByte('\\')
+		case 't':
+			sb.WriteByte('\t')
+		case 'n':
+			sb.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("server: unknown escape \\%c", s[i])
+		}
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,93 @@
+package snapshot
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteReadDirRoundTrip(t *testing.T) {
+	e := loadedEngine(t)
+	snap := Capture(e, DiskTheft)
+	dir := t.TempDir()
+	if err := snap.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The directory looks like a data directory.
+	for _, name := range []string{FileTablespace, FileRedo, FileUndo, FileBinlog, FileCatalog} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Disk.RedoLog, snap.Disk.RedoLog) {
+		t.Error("redo log changed in round trip")
+	}
+	if !bytes.Equal(got.Disk.Binlog, snap.Disk.Binlog) {
+		t.Error("binlog changed in round trip")
+	}
+	if !bytes.Equal(got.Disk.Tablespace, snap.Disk.Tablespace) {
+		t.Error("tablespace changed in round trip")
+	}
+	if len(got.Disk.Catalog) != len(snap.Disk.Catalog) {
+		t.Errorf("catalog entries = %d, want %d", len(got.Disk.Catalog), len(snap.Disk.Catalog))
+	}
+	for id, schema := range snap.Disk.Catalog {
+		gs, ok := got.Disk.Catalog[id]
+		if !ok || gs.Name != schema.Name || len(gs.Columns) != len(schema.Columns) {
+			t.Errorf("catalog[%d] = %+v, want %+v", id, gs, schema)
+		}
+	}
+}
+
+func TestWriteDirWithoutDiskState(t *testing.T) {
+	s := &Snapshot{Attack: VMSnapshotLeak}
+	if err := s.WriteDir(t.TempDir()); err == nil {
+		t.Error("nil disk state accepted")
+	}
+}
+
+func TestReadDirMissingRequiredFiles(t *testing.T) {
+	if _, err := ReadDir(t.TempDir()); err == nil {
+		t.Error("empty directory accepted")
+	}
+}
+
+func TestReadDirToleratesMissingOptionalFiles(t *testing.T) {
+	e := loadedEngine(t)
+	snap := Capture(e, DiskTheft)
+	dir := t.TempDir()
+	if err := snap.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, optional := range []string{FileGeneralLog, FileSlowLog, FileBufferPool, FileCatalog, FileBinlog} {
+		if err := os.Remove(filepath.Join(dir, optional)); err != nil && !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("missing optional files not tolerated: %v", err)
+	}
+	if len(got.Disk.RedoLog) == 0 {
+		t.Error("required files lost")
+	}
+}
+
+func TestReadDirRejectsCorruptCatalog(t *testing.T) {
+	e := loadedEngine(t)
+	dir := t.TempDir()
+	if err := Capture(e, DiskTheft).WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, FileCatalog), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDir(dir); err == nil {
+		t.Error("corrupt catalog accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package snapshot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"snapdb/internal/engine"
+)
+
+func loadedEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e, err := engine.New(engine.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Clock = func() int64 { return 1_700_000_000 }
+	s := e.Connect("app")
+	for _, q := range []string{
+		"CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT, balance INT)",
+		"INSERT INTO accounts (id, owner, balance) VALUES (1, 'alice', 100)",
+		"INSERT INTO accounts (id, owner, balance) VALUES (2, 'bob', 250)",
+		"UPDATE accounts SET balance = 175 WHERE id = 2",
+		"SELECT owner FROM accounts WHERE id = 1",
+	} {
+		if _, err := s.Execute(q); err != nil {
+			t.Fatalf("Execute(%q): %v", q, err)
+		}
+	}
+	return e
+}
+
+func TestFigure1Matrix(t *testing.T) {
+	want := map[AttackType]Components{
+		DiskTheft:      {Logs: true},
+		SQLInjection:   {Logs: true, Diagnostics: true},
+		VMSnapshotLeak: {Logs: true, Diagnostics: true, Memory: true},
+		FullCompromise: {Logs: true, Diagnostics: true, Memory: true},
+	}
+	for _, a := range AllAttacks {
+		if got := a.Reveals(); got != want[a] {
+			t.Errorf("%v reveals %+v, want %+v", a, got, want[a])
+		}
+	}
+}
+
+func TestCaptureDiskTheft(t *testing.T) {
+	e := loadedEngine(t)
+	s := Capture(e, DiskTheft)
+	if s.Disk == nil {
+		t.Fatal("disk theft yielded no disk state")
+	}
+	if s.Diagnostics != nil || s.Memory != nil {
+		t.Error("disk theft yielded volatile state")
+	}
+	if len(s.Disk.RedoLog) == 0 || len(s.Disk.UndoLog) == 0 {
+		t.Error("WAL images empty")
+	}
+	if !bytes.Contains(s.Disk.Binlog, []byte("alice")) {
+		t.Error("binlog image missing insert literal")
+	}
+	if len(s.Disk.Tablespace) == 0 {
+		t.Error("tablespace image empty")
+	}
+}
+
+func TestCaptureSQLInjection(t *testing.T) {
+	e := loadedEngine(t)
+	s := Capture(e, SQLInjection)
+	if s.Disk == nil || s.Diagnostics == nil {
+		t.Fatal("SQLi must yield logs and diagnostics")
+	}
+	if s.Memory != nil {
+		t.Error("SQLi yielded memory state")
+	}
+	var sawSelect bool
+	for _, ev := range s.Diagnostics.History {
+		if strings.Contains(ev.Statement, "SELECT owner FROM accounts") {
+			sawSelect = true
+		}
+	}
+	if !sawSelect {
+		t.Error("diagnostics missing the past SELECT")
+	}
+	if s.Diagnostics.HistorySize != 10 {
+		t.Errorf("history size = %d", s.Diagnostics.HistorySize)
+	}
+}
+
+func TestCaptureFullCompromise(t *testing.T) {
+	e := loadedEngine(t)
+	s := Capture(e, FullCompromise)
+	if s.Disk == nil || s.Diagnostics == nil || s.Memory == nil {
+		t.Fatal("full compromise must yield everything")
+	}
+	if !bytes.Contains(s.Memory.HeapImage, []byte("SELECT owner FROM accounts WHERE id = 1")) {
+		t.Error("heap image missing past query text")
+	}
+	if len(s.Memory.QueryCache) == 0 {
+		t.Error("query cache empty in memory state")
+	}
+	if len(s.Memory.BufferLRU) == 0 || len(s.Memory.HotPages) == 0 {
+		t.Error("buffer pool state missing")
+	}
+	if s.Memory.EngineLSN == 0 {
+		t.Error("engine LSN missing")
+	}
+}
+
+func TestAttackStrings(t *testing.T) {
+	for _, a := range AllAttacks {
+		if strings.HasPrefix(a.String(), "AttackType(") {
+			t.Errorf("missing name for %d", int(a))
+		}
+	}
+	if !strings.HasPrefix(AttackType(99).String(), "AttackType(") {
+		t.Error("unknown attack type should render numerically")
+	}
+}
+
+func TestSnapshotIsStatic(t *testing.T) {
+	// A snapshot must be an independent copy: later engine activity
+	// must not alter it.
+	e := loadedEngine(t)
+	s1 := Capture(e, FullCompromise)
+	binlogLen := len(s1.Disk.Binlog)
+	sess := e.Connect("later")
+	if _, err := sess.Execute("INSERT INTO accounts (id, owner, balance) VALUES (3, 'carol', 1)"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.Disk.Binlog) != binlogLen {
+		t.Error("snapshot binlog changed after capture")
+	}
+}

@@ -1,0 +1,365 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	// SQL renders the statement back to canonical SQL text.
+	SQL() string
+	stmt()
+}
+
+// ColumnType is the type of a table column.
+type ColumnType int
+
+// Column types supported by the engine.
+const (
+	TypeInt ColumnType = iota
+	TypeText
+)
+
+func (t ColumnType) String() string {
+	if t == TypeInt {
+		return "INT"
+	}
+	return "TEXT"
+}
+
+// ColumnDef is one column in a CREATE TABLE statement.
+type ColumnDef struct {
+	Name       string
+	Type       ColumnType
+	PrimaryKey bool
+}
+
+// CreateTable is a CREATE TABLE statement.
+type CreateTable struct {
+	Table   string
+	Columns []ColumnDef
+}
+
+func (*CreateTable) stmt() {}
+
+// SQL renders the statement.
+func (c *CreateTable) SQL() string {
+	var parts []string
+	for _, col := range c.Columns {
+		p := col.Name + " " + col.Type.String()
+		if col.PrimaryKey {
+			p += " PRIMARY KEY"
+		}
+		parts = append(parts, p)
+	}
+	return fmt.Sprintf("CREATE TABLE %s (%s)", c.Table, strings.Join(parts, ", "))
+}
+
+// Value is a literal value: int64 or string.
+type Value struct {
+	IsInt bool
+	Int   int64
+	Str   string
+}
+
+// IntValue builds an integer literal.
+func IntValue(v int64) Value { return Value{IsInt: true, Int: v} }
+
+// StrValue builds a string literal.
+func StrValue(s string) Value { return Value{Str: s} }
+
+// SQL renders the literal in SQL syntax.
+func (v Value) SQL() string {
+	if v.IsInt {
+		return strconv.FormatInt(v.Int, 10)
+	}
+	return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+}
+
+// String renders the literal without quoting (for display and record use).
+func (v Value) String() string {
+	if v.IsInt {
+		return strconv.FormatInt(v.Int, 10)
+	}
+	return v.Str
+}
+
+// Compare orders two values: ints numerically, strings lexically; ints
+// sort before strings when kinds differ.
+func (v Value) Compare(o Value) int {
+	switch {
+	case v.IsInt && o.IsInt:
+		switch {
+		case v.Int < o.Int:
+			return -1
+		case v.Int > o.Int:
+			return 1
+		}
+		return 0
+	case !v.IsInt && !o.IsInt:
+		return strings.Compare(v.Str, o.Str)
+	case v.IsInt:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Equal reports value equality.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// CompareOp is a binary comparison operator in a WHERE clause.
+type CompareOp int
+
+// Comparison operators.
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CompareOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CompareOp(%d)", int(op))
+	}
+}
+
+// Eval applies the operator to the comparison result c = Compare(lhs, rhs).
+func (op CompareOp) Eval(c int) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// Predicate is a single comparison column OP literal.
+type Predicate struct {
+	Column string
+	Op     CompareOp
+	Arg    Value
+}
+
+// SQL renders the predicate.
+func (p Predicate) SQL() string {
+	return fmt.Sprintf("%s %s %s", p.Column, p.Op, p.Arg.SQL())
+}
+
+// Where is a conjunction of predicates; empty means "all rows".
+type Where []Predicate
+
+// SQL renders the clause body (without the WHERE keyword); empty string
+// for an empty conjunction.
+func (w Where) SQL() string {
+	if len(w) == 0 {
+		return ""
+	}
+	parts := make([]string, len(w))
+	for i, p := range w {
+		parts[i] = p.SQL()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// AggKind distinguishes plain column selection from aggregates.
+type AggKind int
+
+// Aggregate kinds.
+const (
+	AggNone AggKind = iota
+	AggCount
+	AggSum
+)
+
+// SelectExpr is one item in a SELECT list: a column, *, COUNT(*), or
+// SUM(col).
+type SelectExpr struct {
+	Agg    AggKind
+	Column string // "*" for star
+}
+
+// SQL renders the expression.
+func (e SelectExpr) SQL() string {
+	switch e.Agg {
+	case AggCount:
+		return "COUNT(" + e.Column + ")"
+	case AggSum:
+		return "SUM(" + e.Column + ")"
+	default:
+		return e.Column
+	}
+}
+
+// Select is a SELECT statement.
+type Select struct {
+	Exprs   []SelectExpr
+	Table   string
+	Where   Where
+	OrderBy string // column name, empty for none
+	Desc    bool
+	Limit   int // 0 means no limit
+}
+
+func (*Select) stmt() {}
+
+// SQL renders the statement.
+func (s *Select) SQL() string {
+	parts := make([]string, len(s.Exprs))
+	for i, e := range s.Exprs {
+		parts[i] = e.SQL()
+	}
+	out := fmt.Sprintf("SELECT %s FROM %s", strings.Join(parts, ", "), s.Table)
+	if len(s.Where) > 0 {
+		out += " WHERE " + s.Where.SQL()
+	}
+	if s.OrderBy != "" {
+		out += " ORDER BY " + s.OrderBy
+		if s.Desc {
+			out += " DESC"
+		}
+	}
+	if s.Limit > 0 {
+		out += fmt.Sprintf(" LIMIT %d", s.Limit)
+	}
+	return out
+}
+
+// Insert is an INSERT statement with one or more value tuples.
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Value
+}
+
+func (*Insert) stmt() {}
+
+// SQL renders the statement.
+func (i *Insert) SQL() string {
+	tuples := make([]string, len(i.Rows))
+	for r, row := range i.Rows {
+		vals := make([]string, len(row))
+		for c, v := range row {
+			vals[c] = v.SQL()
+		}
+		tuples[r] = "(" + strings.Join(vals, ", ") + ")"
+	}
+	return fmt.Sprintf("INSERT INTO %s (%s) VALUES %s",
+		i.Table, strings.Join(i.Columns, ", "), strings.Join(tuples, ", "))
+}
+
+// Assignment is one column = value pair in an UPDATE.
+type Assignment struct {
+	Column string
+	Value  Value
+}
+
+// Update is an UPDATE statement.
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where Where
+}
+
+func (*Update) stmt() {}
+
+// SQL renders the statement.
+func (u *Update) SQL() string {
+	sets := make([]string, len(u.Set))
+	for i, a := range u.Set {
+		sets[i] = fmt.Sprintf("%s = %s", a.Column, a.Value.SQL())
+	}
+	out := fmt.Sprintf("UPDATE %s SET %s", u.Table, strings.Join(sets, ", "))
+	if len(u.Where) > 0 {
+		out += " WHERE " + u.Where.SQL()
+	}
+	return out
+}
+
+// CreateIndex is a CREATE INDEX statement over a single column.
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+func (*CreateIndex) stmt() {}
+
+// SQL renders the statement.
+func (c *CreateIndex) SQL() string {
+	return fmt.Sprintf("CREATE INDEX %s ON %s (%s)", c.Name, c.Table, c.Column)
+}
+
+// TxnOp is a transaction-control statement kind.
+type TxnOp int
+
+// Transaction-control operations.
+const (
+	TxnBegin TxnOp = iota
+	TxnCommit
+	TxnRollback
+)
+
+// TxnControl is BEGIN, COMMIT, or ROLLBACK.
+type TxnControl struct {
+	Op TxnOp
+}
+
+func (*TxnControl) stmt() {}
+
+// SQL renders the statement.
+func (t *TxnControl) SQL() string {
+	switch t.Op {
+	case TxnBegin:
+		return "BEGIN"
+	case TxnCommit:
+		return "COMMIT"
+	default:
+		return "ROLLBACK"
+	}
+}
+
+// Delete is a DELETE statement.
+type Delete struct {
+	Table string
+	Where Where
+}
+
+func (*Delete) stmt() {}
+
+// SQL renders the statement.
+func (d *Delete) SQL() string {
+	out := "DELETE FROM " + d.Table
+	if len(d.Where) > 0 {
+		out += " WHERE " + d.Where.SQL()
+	}
+	return out
+}

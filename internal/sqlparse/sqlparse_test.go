@@ -1,0 +1,331 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt := mustParse(t, "CREATE TABLE customers (id INT PRIMARY KEY, name TEXT, age INT)")
+	ct, ok := stmt.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T, want *CreateTable", stmt)
+	}
+	if ct.Table != "customers" {
+		t.Errorf("table = %q", ct.Table)
+	}
+	if len(ct.Columns) != 3 {
+		t.Fatalf("got %d columns", len(ct.Columns))
+	}
+	if !ct.Columns[0].PrimaryKey || ct.Columns[0].Type != TypeInt {
+		t.Errorf("id column parsed wrong: %+v", ct.Columns[0])
+	}
+	if ct.Columns[1].Type != TypeText {
+		t.Errorf("name column type = %v", ct.Columns[1].Type)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM customers WHERE state = 'IN'")
+	sel := stmt.(*Select)
+	if sel.Table != "customers" || len(sel.Exprs) != 1 || sel.Exprs[0].Column != "*" {
+		t.Errorf("unexpected select: %+v", sel)
+	}
+	if len(sel.Where) != 1 || sel.Where[0].Column != "state" || sel.Where[0].Op != OpEq || sel.Where[0].Arg.Str != "IN" {
+		t.Errorf("unexpected where: %+v", sel.Where)
+	}
+}
+
+func TestParseSelectConjunction(t *testing.T) {
+	sel := mustParse(t, "SELECT name, age FROM customers WHERE state = 'IN' AND age >= 25").(*Select)
+	if len(sel.Exprs) != 2 {
+		t.Fatalf("exprs = %d", len(sel.Exprs))
+	}
+	if len(sel.Where) != 2 {
+		t.Fatalf("where len = %d", len(sel.Where))
+	}
+	if sel.Where[1].Op != OpGe || sel.Where[1].Arg.Int != 25 {
+		t.Errorf("second predicate = %+v", sel.Where[1])
+	}
+}
+
+func TestParseBetweenExpands(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE v BETWEEN 10 AND 20").(*Select)
+	if len(sel.Where) != 2 {
+		t.Fatalf("where len = %d, want 2", len(sel.Where))
+	}
+	if sel.Where[0].Op != OpGe || sel.Where[0].Arg.Int != 10 {
+		t.Errorf("lower bound = %+v", sel.Where[0])
+	}
+	if sel.Where[1].Op != OpLe || sel.Where[1].Arg.Int != 20 {
+		t.Errorf("upper bound = %+v", sel.Where[1])
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	sel := mustParse(t, "SELECT COUNT(*) FROM t WHERE a = 10").(*Select)
+	if sel.Exprs[0].Agg != AggCount || sel.Exprs[0].Column != "*" {
+		t.Errorf("count expr = %+v", sel.Exprs[0])
+	}
+	sel = mustParse(t, "SELECT SUM(c3) FROM t").(*Select)
+	if sel.Exprs[0].Agg != AggSum || sel.Exprs[0].Column != "c3" {
+		t.Errorf("sum expr = %+v", sel.Exprs[0])
+	}
+}
+
+func TestParseOrderLimit(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t ORDER BY v DESC LIMIT 10").(*Select)
+	if sel.OrderBy != "v" || !sel.Desc || sel.Limit != 10 {
+		t.Errorf("order/limit = %q desc=%v limit=%d", sel.OrderBy, sel.Desc, sel.Limit)
+	}
+}
+
+func TestParseInsertMultiRow(t *testing.T) {
+	ins := mustParse(t, "INSERT INTO t (id, name) VALUES (1, 'a'), (2, 'b')").(*Insert)
+	if len(ins.Rows) != 2 || len(ins.Columns) != 2 {
+		t.Fatalf("rows=%d cols=%d", len(ins.Rows), len(ins.Columns))
+	}
+	if !ins.Rows[0][0].IsInt || ins.Rows[0][0].Int != 1 || ins.Rows[1][1].Str != "b" {
+		t.Errorf("rows = %+v", ins.Rows)
+	}
+}
+
+func TestParseInsertArityMismatch(t *testing.T) {
+	if _, err := Parse("INSERT INTO t (id, name) VALUES (1)"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	upd := mustParse(t, "UPDATE t SET name = 'x', age = 30 WHERE id = 7").(*Update)
+	if len(upd.Set) != 2 || upd.Set[0].Column != "name" || upd.Set[1].Value.Int != 30 {
+		t.Errorf("set = %+v", upd.Set)
+	}
+	if len(upd.Where) != 1 || upd.Where[0].Arg.Int != 7 {
+		t.Errorf("where = %+v", upd.Where)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	del := mustParse(t, "DELETE FROM t WHERE id != 3").(*Delete)
+	if del.Table != "t" || del.Where[0].Op != OpNe {
+		t.Errorf("delete = %+v", del)
+	}
+}
+
+func TestParseSchemaQualifiedTable(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM information_schema.processlist").(*Select)
+	if sel.Table != "information_schema.processlist" {
+		t.Errorf("table = %q", sel.Table)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE name = 'O''Brien'").(*Select)
+	if sel.Where[0].Arg.Str != "O'Brien" {
+		t.Errorf("escaped string = %q", sel.Where[0].Arg.Str)
+	}
+}
+
+func TestParseNegativeNumber(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE v > -42").(*Select)
+	if sel.Where[0].Arg.Int != -42 {
+		t.Errorf("negative literal = %+v", sel.Where[0].Arg)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROB x",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a ==",
+		"INSERT INTO t VALUES (1)",
+		"SELECT * FROM t WHERE name = 'unterminated",
+		"SELECT * FROM t extra garbage",
+		"CREATE TABLE t (x FLOAT)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestSQLRoundTrip(t *testing.T) {
+	srcs := []string{
+		"SELECT * FROM customers WHERE state = 'IN' AND age >= 25",
+		"SELECT COUNT(*) FROM t WHERE a = 10",
+		"INSERT INTO t (id, name) VALUES (1, 'a'), (2, 'b')",
+		"UPDATE t SET name = 'x' WHERE id = 7",
+		"DELETE FROM t WHERE id != 3",
+		"CREATE TABLE customers (id INT PRIMARY KEY, name TEXT)",
+		"SELECT v FROM t ORDER BY v DESC LIMIT 5",
+	}
+	for _, src := range srcs {
+		stmt := mustParse(t, src)
+		again := mustParse(t, stmt.SQL())
+		if stmt.SQL() != again.SQL() {
+			t.Errorf("SQL round trip not a fixed point:\n first: %s\nsecond: %s", stmt.SQL(), again.SQL())
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{IntValue(1), IntValue(2), -1},
+		{IntValue(2), IntValue(2), 0},
+		{IntValue(3), IntValue(2), 1},
+		{StrValue("a"), StrValue("b"), -1},
+		{StrValue("b"), StrValue("b"), 0},
+		{IntValue(9), StrValue("a"), -1}, // ints sort before strings
+		{StrValue("a"), IntValue(9), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareOpEval(t *testing.T) {
+	ops := []struct {
+		op CompareOp
+		lt bool // expected when comparison is -1
+		eq bool
+		gt bool
+	}{
+		{OpEq, false, true, false},
+		{OpNe, true, false, true},
+		{OpLt, true, false, false},
+		{OpLe, true, true, false},
+		{OpGt, false, false, true},
+		{OpGe, false, true, true},
+	}
+	for _, c := range ops {
+		if c.op.Eval(-1) != c.lt || c.op.Eval(0) != c.eq || c.op.Eval(1) != c.gt {
+			t.Errorf("%v eval wrong: %v %v %v", c.op, c.op.Eval(-1), c.op.Eval(0), c.op.Eval(1))
+		}
+	}
+}
+
+// --- Digest tests: the paper's §4 examples verbatim. ---
+
+func TestDigestPaperExamples(t *testing.T) {
+	a := Digest("SELECT * FROM CUSTOMERS WHERE STATE='IN'")
+	b := Digest("SELECT * FROM CUSTOMERS WHERE STATE='AZ'")
+	if a != b {
+		t.Errorf("same-structure queries digested differently:\n%s\n%s", a, b)
+	}
+	c := Digest("SELECT * FROM CUSTOMERS WHERE AGE >=25")
+	d := Digest("SELECT * FROM CUSTOMERS WHERE STATE='IN' AND AGE >=25")
+	if a == c {
+		t.Error("different attribute digested same as state query")
+	}
+	if a == d || c == d {
+		t.Error("two-constraint WHERE digested same as one-constraint")
+	}
+}
+
+func TestDigestReplacesAllLiterals(t *testing.T) {
+	got := Digest("INSERT INTO t (id, name) VALUES (17, 'secret')")
+	if strings.Contains(got, "17") || strings.Contains(got, "secret") {
+		t.Errorf("digest leaks literals: %s", got)
+	}
+	if !strings.Contains(got, "?") {
+		t.Errorf("digest has no placeholders: %s", got)
+	}
+}
+
+func TestDigestCaseInsensitiveKeywords(t *testing.T) {
+	if Digest("select * from t where a = 1") != Digest("SELECT * FROM t WHERE a = 2") {
+		t.Error("keyword case changed the digest")
+	}
+}
+
+func TestDigestPreservesIdentifiers(t *testing.T) {
+	got := Digest("SELECT c3 FROM table2 WHERE c3 = 5")
+	if !strings.Contains(got, "c3") || !strings.Contains(got, "table2") {
+		t.Errorf("digest lost identifiers: %s", got)
+	}
+}
+
+func TestDigestHashStable(t *testing.T) {
+	h1 := DigestHash("SELECT * FROM t WHERE a = 1")
+	h2 := DigestHash("SELECT * FROM t WHERE a = 999")
+	if h1 != h2 {
+		t.Error("hash differs for same canonical form")
+	}
+	if len(h1) != 32 {
+		t.Errorf("hash length = %d", len(h1))
+	}
+}
+
+func TestDigestMalformedInputDoesNotPanic(t *testing.T) {
+	got := Digest("SELECT  * FROM t WHERE junk # $ %")
+	if got == "" {
+		t.Error("digest of malformed input is empty")
+	}
+}
+
+func TestQuickDigestLiteralIndependence(t *testing.T) {
+	f := func(a, b int64) bool {
+		qa := Digest("SELECT * FROM t WHERE v = " + IntValue(a).SQL())
+		qb := Digest("SELECT * FROM t WHERE v = " + IntValue(b).SQL())
+		return qa == qb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringLiteralRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		if strings.ContainsAny(s, "\x00") {
+			return true // NUL not representable in our SQL text
+		}
+		src := "SELECT * FROM t WHERE name = " + StrValue(s).SQL()
+		stmt, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		sel, ok := stmt.(*Select)
+		return ok && len(sel.Where) == 1 && sel.Where[0].Arg.Str == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParseSelect(b *testing.B) {
+	src := "SELECT name, age FROM customers WHERE state = 'IN' AND age >= 25 ORDER BY age DESC LIMIT 10"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDigest(b *testing.B) {
+	src := "SELECT * FROM CUSTOMERS WHERE STATE='IN' AND AGE >= 25"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Digest(src)
+	}
+}

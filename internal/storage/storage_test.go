@@ -1,0 +1,301 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"snapdb/internal/sqlparse"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{},
+		{sqlparse.IntValue(42)},
+		{sqlparse.StrValue("hello")},
+		{sqlparse.IntValue(-7), sqlparse.StrValue("mixed"), sqlparse.IntValue(1 << 40)},
+		{sqlparse.StrValue("")},
+	}
+	for _, r := range recs {
+		enc := EncodeRecord(r)
+		dec, n, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("DecodeRecord(%v): %v", r, err)
+		}
+		if n != len(enc) {
+			t.Errorf("consumed %d of %d bytes", n, len(enc))
+		}
+		if !dec.Equal(r) {
+			t.Errorf("round trip: got %v want %v", dec, r)
+		}
+	}
+}
+
+func TestDecodeRecordTruncated(t *testing.T) {
+	enc := EncodeRecord(Record{sqlparse.StrValue("hello world")})
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeRecord(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeRecordBadTag(t *testing.T) {
+	enc := EncodeRecord(Record{sqlparse.IntValue(1)})
+	enc[2] = 0x99
+	if _, _, err := DecodeRecord(enc); err == nil {
+		t.Error("bad tag accepted")
+	}
+}
+
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(i int64, s string) bool {
+		r := Record{sqlparse.IntValue(i), sqlparse.StrValue(s)}
+		dec, _, err := DecodeRecord(EncodeRecord(r))
+		return err == nil && dec.Equal(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageInsertAndRead(t *testing.T) {
+	p := NewPage(1, PageBTreeLeaf)
+	rec := EncodeRecord(Record{sqlparse.IntValue(1), sqlparse.StrValue("alpha")})
+	slot, err := p.InsertBytes(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.SlotBytes(slot)
+	if !bytes.Equal(got, rec) {
+		t.Error("slot bytes differ from inserted record")
+	}
+	if p.ID() != 1 || p.Type() != PageBTreeLeaf {
+		t.Errorf("header: id=%d type=%v", p.ID(), p.Type())
+	}
+}
+
+func TestPageFillsUp(t *testing.T) {
+	p := NewPage(1, PageBTreeLeaf)
+	rec := EncodeRecord(Record{sqlparse.StrValue(string(make([]byte, 100)))})
+	inserted := 0
+	for {
+		if _, err := p.InsertBytes(rec); err != nil {
+			if err != ErrPageFull {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		inserted++
+	}
+	if inserted == 0 {
+		t.Fatal("no records fit in an empty page")
+	}
+	// All inserted records are readable.
+	for i := 0; i < inserted; i++ {
+		if p.SlotBytes(i) == nil {
+			t.Errorf("slot %d lost", i)
+		}
+	}
+}
+
+func TestPageDeleteLeavesResidue(t *testing.T) {
+	p := NewPage(1, PageBTreeLeaf)
+	marker := "FORENSIC-MARKER-STRING"
+	rec := EncodeRecord(Record{sqlparse.StrValue(marker)})
+	slot, err := p.InsertBytes(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeleteSlot(slot); err != nil {
+		t.Fatal(err)
+	}
+	if p.SlotBytes(slot) != nil {
+		t.Error("deleted slot still readable through the slot API")
+	}
+	// The raw page image must still contain the record bytes: this is
+	// the disk-residue property the paper's §3 attacks rely on.
+	if !bytes.Contains(p.Bytes(), []byte(marker)) {
+		t.Error("deleted record bytes were scrubbed; expected residue")
+	}
+	p.Compact()
+	if bytes.Contains(p.Bytes(), []byte(marker)) {
+		t.Error("compaction left deleted-record residue")
+	}
+}
+
+func TestPageUpdateInPlaceAndRelocate(t *testing.T) {
+	p := NewPage(1, PageBTreeLeaf)
+	slot, err := p.InsertBytes(EncodeRecord(Record{sqlparse.StrValue("long original value")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := EncodeRecord(Record{sqlparse.StrValue("tiny")})
+	if err := p.UpdateSlot(slot, short); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.SlotBytes(slot), short) {
+		t.Error("in-place update not visible")
+	}
+	long := EncodeRecord(Record{sqlparse.StrValue("a considerably longer replacement value")})
+	if err := p.UpdateSlot(slot, long); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.SlotBytes(slot), long) {
+		t.Error("relocating update not visible")
+	}
+}
+
+func TestPageUpdateErrors(t *testing.T) {
+	p := NewPage(1, PageBTreeLeaf)
+	if err := p.UpdateSlot(0, []byte{1}); err == nil {
+		t.Error("update of missing slot accepted")
+	}
+	slot, _ := p.InsertBytes(EncodeRecord(Record{sqlparse.IntValue(1)}))
+	_ = p.DeleteSlot(slot)
+	if err := p.UpdateSlot(slot, []byte{1}); err == nil {
+		t.Error("update of deleted slot accepted")
+	}
+}
+
+func TestPageLSN(t *testing.T) {
+	p := NewPage(3, PageBTreeLeaf)
+	p.SetLSN(0xDEADBEEF01)
+	img := p.CloneBytes()
+	q, err := LoadPage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.LSN() != 0xDEADBEEF01 {
+		t.Errorf("LSN = %#x", q.LSN())
+	}
+}
+
+func TestPageSiblingLink(t *testing.T) {
+	p := NewPage(1, PageBTreeLeaf)
+	if p.Next() != InvalidPage {
+		t.Errorf("fresh page next = %d", p.Next())
+	}
+	p.SetNext(42)
+	if p.Next() != 42 {
+		t.Errorf("next = %d", p.Next())
+	}
+}
+
+func TestLoadPageBadSize(t *testing.T) {
+	if _, err := LoadPage(make([]byte, 100)); err == nil {
+		t.Error("short page image accepted")
+	}
+}
+
+func TestTablespaceAllocateGetRelease(t *testing.T) {
+	ts := NewTablespace()
+	p1 := ts.Allocate(PageBTreeLeaf)
+	p2 := ts.Allocate(PageBTreeInternal)
+	if p1.ID() == p2.ID() {
+		t.Error("duplicate page ids")
+	}
+	got, err := ts.Get(p1.ID())
+	if err != nil || got.ID() != p1.ID() {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := ts.Release(p1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	p3 := ts.Allocate(PageBTreeLeaf)
+	if p3.ID() != p1.ID() {
+		t.Errorf("freelist not recycled: got %d want %d", p3.ID(), p1.ID())
+	}
+}
+
+func TestTablespaceReleaseInvalid(t *testing.T) {
+	ts := NewTablespace()
+	if err := ts.Release(0); err == nil {
+		t.Error("releasing header page accepted")
+	}
+	if err := ts.Release(99); err == nil {
+		t.Error("releasing unallocated page accepted")
+	}
+}
+
+func TestTablespaceGetOutOfRange(t *testing.T) {
+	ts := NewTablespace()
+	if _, err := ts.Get(99); err == nil {
+		t.Error("out-of-range Get accepted")
+	}
+}
+
+func TestTablespaceSerializeRoundTrip(t *testing.T) {
+	ts := NewTablespace()
+	leaf := ts.Allocate(PageBTreeLeaf)
+	if _, err := leaf.InsertBytes(EncodeRecord(Record{sqlparse.StrValue("persisted")})); err != nil {
+		t.Fatal(err)
+	}
+	img := ts.Serialize()
+	if len(img) != ts.SerializedSize() {
+		t.Errorf("SerializedSize = %d, image = %d", ts.SerializedSize(), len(img))
+	}
+	ts2, err := LoadTablespace(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts2.NumPages() != ts.NumPages() {
+		t.Errorf("page count %d != %d", ts2.NumPages(), ts.NumPages())
+	}
+	p, err := ts2.Get(leaf.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := DecodeRecord(p.SlotBytes(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec[0].Str != "persisted" {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestLoadTablespaceRejectsBadImages(t *testing.T) {
+	if _, err := LoadTablespace(nil); err == nil {
+		t.Error("nil image accepted")
+	}
+	if _, err := LoadTablespace(make([]byte, 8+PageSize/2)); err == nil {
+		t.Error("misaligned image accepted")
+	}
+}
+
+func TestLoadTablespaceRestoresFreelist(t *testing.T) {
+	ts := NewTablespace()
+	a := ts.Allocate(PageBTreeLeaf)
+	_ = ts.Allocate(PageBTreeLeaf)
+	if err := ts.Release(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	ts2, err := LoadTablespace(ts.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ts2.Allocate(PageBTreeLeaf)
+	if p.ID() != a.ID() {
+		t.Errorf("restored freelist not used: got page %d want %d", p.ID(), a.ID())
+	}
+}
+
+func BenchmarkPageInsert(b *testing.B) {
+	rec := EncodeRecord(Record{sqlparse.IntValue(7), sqlparse.StrValue("benchmark row")})
+	b.ReportAllocs()
+	p := NewPage(1, PageBTreeLeaf)
+	for i := 0; i < b.N; i++ {
+		if _, err := p.InsertBytes(rec); err == ErrPageFull {
+			p.Format(1, PageBTreeLeaf)
+		}
+	}
+}
+
+func BenchmarkRecordEncode(b *testing.B) {
+	r := Record{sqlparse.IntValue(7), sqlparse.StrValue("benchmark row value"), sqlparse.IntValue(12345)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeRecord(r)
+	}
+}

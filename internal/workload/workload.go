@@ -1,0 +1,219 @@
+// Package workload generates the synthetic datasets and query streams
+// the experiments run on: a Zipf-distributed keyword corpus standing in
+// for the Enron email corpus (the paper's count-attack substrate),
+// uniform 32-bit integer databases with uniform range queries (the
+// Lewi-Wu simulation), and Zipf query-distribution models (the
+// frequency-analysis attacks).
+//
+// Everything is seeded and deterministic so experiment tables are
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Corpus is a set of documents over a keyword vocabulary.
+type Corpus struct {
+	Vocabulary []string // index = word id
+	Docs       [][]string
+	counts     map[string]int
+}
+
+// CorpusConfig controls corpus generation.
+type CorpusConfig struct {
+	NumDocs     int
+	VocabSize   int
+	WordsPerDoc int
+	ZipfS       float64 // Zipf exponent (> 1)
+	Seed        int64
+}
+
+// EnronLike returns a configuration calibrated so that, like the Enron
+// email corpus the paper cites, roughly 63% of the 500 most frequent
+// keywords have a unique result count.
+func EnronLike() CorpusConfig {
+	return CorpusConfig{
+		NumDocs:     45000,
+		VocabSize:   5000,
+		WordsPerDoc: 25,
+		ZipfS:       1.2,
+		Seed:        1,
+	}
+}
+
+// NewCorpus generates a corpus. Each document holds WordsPerDoc
+// *distinct* keywords sampled from a Zipf distribution over the
+// vocabulary.
+func NewCorpus(cfg CorpusConfig) (*Corpus, error) {
+	if cfg.NumDocs <= 0 || cfg.VocabSize <= 0 || cfg.WordsPerDoc <= 0 {
+		return nil, fmt.Errorf("workload: corpus dimensions must be positive: %+v", cfg)
+	}
+	if cfg.WordsPerDoc > cfg.VocabSize {
+		return nil, fmt.Errorf("workload: WordsPerDoc %d exceeds vocabulary %d", cfg.WordsPerDoc, cfg.VocabSize)
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("workload: Zipf exponent must exceed 1, got %g", cfg.ZipfS)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.VocabSize-1))
+	c := &Corpus{
+		Vocabulary: make([]string, cfg.VocabSize),
+		Docs:       make([][]string, cfg.NumDocs),
+		counts:     make(map[string]int),
+	}
+	for i := range c.Vocabulary {
+		c.Vocabulary[i] = fmt.Sprintf("kw%05d", i)
+	}
+	for d := range c.Docs {
+		seen := make(map[uint64]bool, cfg.WordsPerDoc)
+		words := make([]string, 0, cfg.WordsPerDoc)
+		for len(words) < cfg.WordsPerDoc {
+			w := zipf.Uint64()
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			words = append(words, c.Vocabulary[w])
+		}
+		c.Docs[d] = words
+		for _, w := range words {
+			c.counts[w]++
+		}
+	}
+	return c, nil
+}
+
+// Count returns the number of documents containing word.
+func (c *Corpus) Count(word string) int { return c.counts[word] }
+
+// WordCount pairs a keyword with its document frequency.
+type WordCount struct {
+	Word  string
+	Count int
+}
+
+// TopWords returns the n most frequent keywords, descending by count
+// (ties broken by word for determinism).
+func (c *Corpus) TopWords(n int) []WordCount {
+	all := make([]WordCount, 0, len(c.counts))
+	for w, n := range c.counts {
+		all = append(all, WordCount{w, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Word < all[j].Word
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// UniqueCountFraction returns the fraction of the top-n keywords whose
+// document count is unique across the whole corpus — the property that
+// makes the count attack identify them.
+func (c *Corpus) UniqueCountFraction(n int) float64 {
+	countFreq := make(map[int]int)
+	for _, cnt := range c.counts {
+		countFreq[cnt]++
+	}
+	top := c.TopWords(n)
+	if len(top) == 0 {
+		return 0
+	}
+	unique := 0
+	for _, wc := range top {
+		if countFreq[wc.Count] == 1 {
+			unique++
+		}
+	}
+	return float64(unique) / float64(len(top))
+}
+
+// UniformInts samples n uniform 32-bit integers (the paper's Lewi-Wu
+// database).
+func UniformInts(n int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = rng.Uint32()
+	}
+	return out
+}
+
+// RangeQuery is a range with inclusive endpoints, as in the paper's
+// simulation ("both an upper and lower bound").
+type RangeQuery struct {
+	Lo, Hi uint32
+}
+
+// UniformRangeQueries samples n uniform range queries.
+func UniformRangeQueries(n int, seed int64) []RangeQuery {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]RangeQuery, n)
+	for i := range out {
+		a, b := rng.Uint32(), rng.Uint32()
+		if a > b {
+			a, b = b, a
+		}
+		out[i] = RangeQuery{Lo: a, Hi: b}
+	}
+	return out
+}
+
+// ZipfQueryStream samples a stream of query values over a value domain
+// with Zipf-distributed popularity: value index 0 is queried most. The
+// frequency-analysis experiments use it as both the real query stream
+// and the attacker's auxiliary model.
+func ZipfQueryStream(domain []string, n int, s float64, seed int64) ([]string, error) {
+	if len(domain) == 0 {
+		return nil, fmt.Errorf("workload: empty domain")
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: Zipf exponent must exceed 1, got %g", s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, s, 1, uint64(len(domain)-1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = domain[zipf.Uint64()]
+	}
+	return out, nil
+}
+
+// States is a small categorical domain used by examples and the Seabed
+// experiments (US state codes in rough population order, so Zipf rank
+// matches intuition).
+var States = []string{
+	"CA", "TX", "FL", "NY", "PA", "IL", "OH", "GA", "NC", "MI",
+	"NJ", "VA", "WA", "AZ", "MA", "TN", "IN", "MO", "MD", "WI",
+}
+
+// CustomerRow is one row of the demo customers table.
+type CustomerRow struct {
+	ID    int
+	Name  string
+	State string
+	Age   int
+}
+
+// Customers generates n demo rows with Zipf-distributed states.
+func Customers(n int, seed int64) []CustomerRow {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(len(States)-1))
+	out := make([]CustomerRow, n)
+	for i := range out {
+		out[i] = CustomerRow{
+			ID:    i + 1,
+			Name:  fmt.Sprintf("cust%06d", i+1),
+			State: States[zipf.Uint64()],
+			Age:   18 + rng.Intn(70),
+		}
+	}
+	return out
+}

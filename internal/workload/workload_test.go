@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestNewCorpusValidation(t *testing.T) {
+	bad := []CorpusConfig{
+		{},
+		{NumDocs: 10, VocabSize: 10, WordsPerDoc: 0, ZipfS: 1.2},
+		{NumDocs: 10, VocabSize: 5, WordsPerDoc: 6, ZipfS: 1.2},
+		{NumDocs: 10, VocabSize: 10, WordsPerDoc: 2, ZipfS: 1.0},
+	}
+	for _, cfg := range bad {
+		if _, err := NewCorpus(cfg); err == nil {
+			t.Errorf("NewCorpus(%+v) accepted", cfg)
+		}
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	cfg := CorpusConfig{NumDocs: 200, VocabSize: 100, WordsPerDoc: 10, ZipfS: 1.2, Seed: 7}
+	c, err := NewCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Docs) != 200 || len(c.Vocabulary) != 100 {
+		t.Fatalf("dims: %d docs, %d vocab", len(c.Docs), len(c.Vocabulary))
+	}
+	for d, words := range c.Docs {
+		if len(words) != 10 {
+			t.Fatalf("doc %d has %d words", d, len(words))
+		}
+		seen := map[string]bool{}
+		for _, w := range words {
+			if seen[w] {
+				t.Fatalf("doc %d repeats word %s", d, w)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	cfg := CorpusConfig{NumDocs: 50, VocabSize: 40, WordsPerDoc: 5, ZipfS: 1.3, Seed: 9}
+	a, _ := NewCorpus(cfg)
+	b, _ := NewCorpus(cfg)
+	for i := range a.Docs {
+		for j := range a.Docs[i] {
+			if a.Docs[i][j] != b.Docs[i][j] {
+				t.Fatal("corpus not deterministic under fixed seed")
+			}
+		}
+	}
+}
+
+func TestCountsConsistent(t *testing.T) {
+	cfg := CorpusConfig{NumDocs: 100, VocabSize: 50, WordsPerDoc: 8, ZipfS: 1.2, Seed: 3}
+	c, _ := NewCorpus(cfg)
+	manual := make(map[string]int)
+	for _, doc := range c.Docs {
+		for _, w := range doc {
+			manual[w]++
+		}
+	}
+	for w, n := range manual {
+		if c.Count(w) != n {
+			t.Errorf("Count(%s) = %d, manual = %d", w, c.Count(w), n)
+		}
+	}
+}
+
+func TestTopWordsOrdering(t *testing.T) {
+	cfg := CorpusConfig{NumDocs: 300, VocabSize: 80, WordsPerDoc: 10, ZipfS: 1.2, Seed: 5}
+	c, _ := NewCorpus(cfg)
+	top := c.TopWords(20)
+	if len(top) != 20 {
+		t.Fatalf("top = %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatal("TopWords not descending")
+		}
+	}
+	// Zipf: the most frequent word should dominate.
+	if top[0].Count < top[19].Count*2 {
+		t.Errorf("distribution too flat for Zipf: top=%d 20th=%d", top[0].Count, top[19].Count)
+	}
+}
+
+func TestUniqueCountFractionBounds(t *testing.T) {
+	cfg := CorpusConfig{NumDocs: 500, VocabSize: 200, WordsPerDoc: 10, ZipfS: 1.2, Seed: 11}
+	c, _ := NewCorpus(cfg)
+	f := c.UniqueCountFraction(50)
+	if f < 0 || f > 1 {
+		t.Fatalf("fraction = %g", f)
+	}
+	if c.UniqueCountFraction(0) != 0 {
+		t.Error("n=0 fraction nonzero")
+	}
+}
+
+func TestEnronLikeCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus generation is slow in -short mode")
+	}
+	c, err := NewCorpus(EnronLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.UniqueCountFraction(500)
+	// Paper: 63% of the 500 most frequent Enron words have unique
+	// counts. The synthetic stand-in must land in the same regime.
+	if f < 0.45 || f > 0.85 {
+		t.Errorf("unique-count fraction = %.2f, want within [0.45, 0.85] (paper: 0.63)", f)
+	}
+}
+
+func TestUniformInts(t *testing.T) {
+	a := UniformInts(1000, 1)
+	b := UniformInts(1000, 1)
+	c := UniformInts(1000, 2)
+	if len(a) != 1000 {
+		t.Fatal("length")
+	}
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different data")
+	}
+	if !diff {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestUniformRangeQueries(t *testing.T) {
+	qs := UniformRangeQueries(500, 4)
+	for _, q := range qs {
+		if q.Lo > q.Hi {
+			t.Fatalf("inverted range %+v", q)
+		}
+	}
+}
+
+func TestZipfQueryStream(t *testing.T) {
+	domain := []string{"a", "b", "c", "d", "e"}
+	qs, err := ZipfQueryStream(domain, 10000, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, q := range qs {
+		counts[q]++
+	}
+	if counts["a"] <= counts["e"] {
+		t.Errorf("Zipf head not dominant: a=%d e=%d", counts["a"], counts["e"])
+	}
+	if _, err := ZipfQueryStream(nil, 5, 1.5, 1); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := ZipfQueryStream(domain, 5, 0.5, 1); err == nil {
+		t.Error("bad exponent accepted")
+	}
+}
+
+func TestCustomers(t *testing.T) {
+	rows := Customers(100, 1)
+	if len(rows) != 100 {
+		t.Fatal("length")
+	}
+	for i, r := range rows {
+		if r.ID != i+1 {
+			t.Fatalf("row %d id = %d", i, r.ID)
+		}
+		if r.Age < 18 || r.Age >= 88 {
+			t.Fatalf("age out of range: %d", r.Age)
+		}
+		found := false
+		for _, s := range States {
+			if r.State == s {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("unknown state %q", r.State)
+		}
+	}
+}
+
+func BenchmarkCorpusGeneration(b *testing.B) {
+	cfg := CorpusConfig{NumDocs: 1000, VocabSize: 500, WordsPerDoc: 10, ZipfS: 1.2, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCorpus(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
