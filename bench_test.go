@@ -12,8 +12,12 @@ package snapdb
 
 import (
 	"fmt"
+	"math/rand"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"snapdb/internal/attacks/bitleak"
 	"snapdb/internal/crypto/prim"
@@ -352,5 +356,58 @@ func BenchmarkWorkloadThroughput(b *testing.B) {
 		if _, err := s.Execute(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, 'payload')", i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkConcurrentThroughput measures statement throughput as
+// session concurrency rises: the striped lock manager lets SELECTs on
+// one table share a lock and statements on different tables proceed
+// independently, while group commit coalesces the writers' log appends.
+// Config.SimulatedIOWait models per-statement device latency (the cost
+// a durable DBMS hides behind concurrency) so that overlap — not CPU
+// parallelism — is what the benchmark rewards; on a single-core runner
+// the scaling comes entirely from readers overlapping those waits.
+// E12 (cmd/experiments -run E12) prints the same sweep as a table.
+func BenchmarkConcurrentThroughput(b *testing.B) {
+	const tables, rows = 4, 100
+	for _, g := range []int{1, 4, 16} {
+		cfg := engine.Defaults()
+		cfg.SimulatedIOWait = 100 * time.Microsecond
+		e, err := engine.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := workload.SetupTables(e, tables, rows); err != nil {
+			b.Fatal(err)
+		}
+		// RunParallel spawns SetParallelism(g) × GOMAXPROCS goroutines.
+		goroutines := g * runtime.GOMAXPROCS(0)
+		b.Run(fmt.Sprintf("goroutines=%d", goroutines), func(b *testing.B) {
+			var nextID atomic.Int64
+			b.SetParallelism(g)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				id := nextID.Add(1)
+				s := e.Connect(fmt.Sprintf("bench-conc-%d", id))
+				defer s.Close()
+				rng := rand.New(rand.NewSource(id * 7919))
+				i := 0
+				for pb.Next() {
+					i++
+					table := workload.DriverTableName(rng.Intn(tables))
+					var q string
+					if i%10 == 0 {
+						q = fmt.Sprintf("UPDATE %s SET v = 'upd-%d-%d' WHERE id = %d", table, id, i, rng.Intn(rows))
+					} else {
+						q = fmt.Sprintf("SELECT v FROM %s WHERE id = %d", table, rng.Intn(rows))
+					}
+					if _, err := s.Execute(q); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "stmts/s")
+		})
 	}
 }

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	snapdbd [-addr 127.0.0.1:7001] [-harden]
+//	snapdbd [-addr 127.0.0.1:7001] [-harden] [-idle-timeout 5m]
 //
 // Clients speak the line protocol of internal/server; the simplest
 // client is:
@@ -28,6 +28,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
 	harden := flag.Bool("harden", false, "apply the hardened configuration")
+	idle := flag.Duration("idle-timeout", server.DefaultIdleTimeout,
+		"close connections idle longer than this (0 or negative disables)")
 	flag.Parse()
 
 	cfg := engine.Defaults()
@@ -39,6 +41,11 @@ func main() {
 		log.Fatalf("snapdbd: %v", err)
 	}
 	srv := server.New(e)
+	if *idle <= 0 {
+		srv.IdleTimeout = -1
+	} else {
+		srv.IdleTimeout = *idle
+	}
 	ready := make(chan net.Addr, 1)
 	go func() {
 		a := <-ready

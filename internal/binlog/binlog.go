@@ -24,19 +24,111 @@ type Event struct {
 
 // Log is the binary log. It grows without bound until Purge is called,
 // matching MySQL's default retention.
+//
+// Concurrent sessions commit through a group-commit pipeline (Commit /
+// CommitBatch): each event is stamped — commit-time LSN from LSNSource,
+// timestamp clamped to be non-decreasing — and queued under one short
+// critical section, and a single leader drains the queue into the event
+// log while followers wait. Queue order therefore equals stamp order,
+// which keeps the on-disk binlog monotone in both timestamp and LSN —
+// the invariant the paper's LSN↔timestamp correlation (E3) regresses
+// over. A transaction's buffered events commit as one contiguous batch,
+// like MySQL's binlog cache.
 type Log struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // guards events
 	events []Event
+
+	// LSNSource, when set (the engine wires it to wal.Manager.CurrentLSN),
+	// stamps each committed event with the engine LSN at commit time.
+	// Events passed to the raw Append keep their caller-supplied LSN.
+	LSNSource func() uint64
+
+	gmu      sync.Mutex // guards the group-commit queue and stamps
+	flushed  *sync.Cond
+	pending  []Event
+	flushing bool
+	enqTotal uint64
+	flTotal  uint64
+	flushes  uint64
+	lastTs   int64
+	lastLSN  uint64
 }
 
 // New creates an empty binlog.
-func New() *Log { return &Log{} }
+func New() *Log {
+	l := &Log{}
+	l.flushed = sync.NewCond(&l.gmu)
+	return l
+}
 
-// Append records a write transaction.
+// Append records a write transaction exactly as given, bypassing the
+// group-commit stamping. Forensic tooling and tests use it to build
+// binlog images; the engine commits through Commit/CommitBatch.
 func (l *Log) Append(ev Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.events = append(l.events, ev)
+}
+
+// Commit stamps and records one event through the group-commit
+// pipeline, returning once it is visible in the log.
+func (l *Log) Commit(ev Event) { l.CommitBatch([]Event{ev}) }
+
+// CommitBatch commits a transaction's events as one contiguous,
+// stamped batch. Within the enqueue critical section every event gets
+// its commit-time LSN (from LSNSource) and a timestamp clamped to the
+// previous commit's, so binlog order is non-decreasing in both fields.
+func (l *Log) CommitBatch(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	l.gmu.Lock()
+	for i := range evs {
+		if l.LSNSource != nil {
+			evs[i].LSN = l.LSNSource()
+		}
+		if evs[i].LSN < l.lastLSN {
+			evs[i].LSN = l.lastLSN
+		}
+		l.lastLSN = evs[i].LSN
+		if evs[i].Timestamp < l.lastTs {
+			evs[i].Timestamp = l.lastTs
+		}
+		l.lastTs = evs[i].Timestamp
+	}
+	l.pending = append(l.pending, evs...)
+	l.enqTotal += uint64(len(evs))
+	ticket := l.enqTotal
+	if l.flushing {
+		for l.flTotal < ticket {
+			l.flushed.Wait()
+		}
+		l.gmu.Unlock()
+		return
+	}
+	l.flushing = true
+	for len(l.pending) > 0 {
+		batch := l.pending
+		l.pending = nil
+		l.gmu.Unlock()
+		l.mu.Lock()
+		l.events = append(l.events, batch...)
+		l.mu.Unlock()
+		l.gmu.Lock()
+		l.flTotal += uint64(len(batch))
+		l.flushes++
+		l.flushed.Broadcast()
+	}
+	l.flushing = false
+	l.gmu.Unlock()
+}
+
+// GroupCommitStats reports committed event and batch-flush counts;
+// committed/flushes is the mean group size.
+func (l *Log) GroupCommitStats() (committed, flushes uint64) {
+	l.gmu.Lock()
+	defer l.gmu.Unlock()
+	return l.flTotal, l.flushes
 }
 
 // Events returns all retained events, oldest first.

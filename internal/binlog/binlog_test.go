@@ -1,6 +1,8 @@
 package binlog
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -96,5 +98,70 @@ func BenchmarkAppend(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		l.Append(Event{Timestamp: int64(i), LSN: uint64(i), Statement: "INSERT INTO t (id, v) VALUES (1, 'x')"})
+	}
+}
+
+func TestCommitStampsMonotoneOrder(t *testing.T) {
+	l := New()
+	var lsn uint64
+	l.LSNSource = func() uint64 { return lsn }
+
+	lsn = 10
+	l.Commit(Event{Timestamp: 100, Statement: "a"})
+	lsn = 30
+	l.Commit(Event{Timestamp: 200, Statement: "b"})
+	// A clock that runs backwards (or a slow writer stamped earlier)
+	// must not produce a regressing binlog: both fields clamp.
+	lsn = 20
+	l.Commit(Event{Timestamp: 150, Statement: "c"})
+
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].LSN != 10 || evs[1].LSN != 30 {
+		t.Errorf("LSNs = %d, %d", evs[0].LSN, evs[1].LSN)
+	}
+	if evs[2].LSN != 30 || evs[2].Timestamp != 200 {
+		t.Errorf("regressing event not clamped: LSN=%d ts=%d", evs[2].LSN, evs[2].Timestamp)
+	}
+}
+
+func TestCommitConcurrentMonotone(t *testing.T) {
+	l := New()
+	var lsn atomic.Uint64
+	l.LSNSource = func() uint64 { return lsn.Add(1) }
+
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				l.Commit(Event{Timestamp: int64(100 + i), Statement: "s"})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	evs := l.Events()
+	if len(evs) != workers*perWorker {
+		t.Fatalf("events = %d, want %d", len(evs), workers*perWorker)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Timestamp < evs[i-1].Timestamp {
+			t.Fatalf("timestamp regressed at %d", i)
+		}
+		if evs[i].LSN < evs[i-1].LSN {
+			t.Fatalf("LSN regressed at %d", i)
+		}
+	}
+	committed, flushes := l.GroupCommitStats()
+	if committed != workers*perWorker {
+		t.Errorf("committed = %d", committed)
+	}
+	if flushes == 0 || flushes > committed {
+		t.Errorf("flushes = %d, committed = %d", flushes, committed)
 	}
 }

@@ -26,9 +26,13 @@ import (
 	"snapdb/internal/storage"
 )
 
-// Pool is an LRU buffer pool over a tablespace.
+// Pool is an LRU buffer pool over a tablespace. Reads of pool state
+// (Contains, Len, Stats, LRUOrder, HotPages, DumpFile) take the lock
+// shared so concurrent sessions and the forensic capture paths don't
+// contend; only Fetch — which reorders the LRU and bumps counters —
+// takes it exclusively.
 type Pool struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	ts       *storage.Tablespace
 	capacity int
 
@@ -81,31 +85,31 @@ func (p *Pool) Fetch(id storage.PageID) (*storage.Page, error) {
 
 // Contains reports whether the page is currently cached.
 func (p *Pool) Contains(id storage.PageID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	_, ok := p.present[id]
 	return ok
 }
 
 // Len returns the number of cached pages.
 func (p *Pool) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.lru.Len()
 }
 
 // Stats reports cumulative hit/miss/eviction counts.
 func (p *Pool) Stats() (hits, misses, evictions uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.hits, p.misses, p.evictions
 }
 
 // LRUOrder returns the cached page ids, most recently used first. This
 // is the in-memory state a whole-system snapshot captures.
 func (p *Pool) LRUOrder() []storage.PageID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	out := make([]storage.PageID, 0, p.lru.Len())
 	for el := p.lru.Front(); el != nil; el = el.Next() {
 		out = append(out, el.Value.(storage.PageID))
@@ -123,8 +127,8 @@ type PageAccess struct {
 // count (ties by id). This models what the adaptive-hash-index metadata
 // reveals to a memory-snapshot attacker.
 func (p *Pool) HotPages() []PageAccess {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	out := make([]PageAccess, 0, len(p.access))
 	for id, n := range p.access {
 		out = append(out, PageAccess{ID: id, Count: n})

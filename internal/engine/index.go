@@ -97,7 +97,7 @@ func (e *Engine) execCreateIndex(s *Session, st *sqlparse.CreateIndex, query str
 	sort.Slice(t.Indexes, func(i, j int) bool { return t.Indexes[i].Name < t.Indexes[j].Name })
 	e.mu.Unlock()
 	if e.cfg.EnableBinlog {
-		e.binlog.Append(binlog.Event{Timestamp: ts, LSN: e.wal.CurrentLSN(), Statement: query})
+		e.binlog.Commit(binlog.Event{Timestamp: ts, Statement: query})
 	}
 	return &Result{}, nil
 }

@@ -1,0 +1,63 @@
+package engine
+
+import "sync"
+
+// numLockStripes is the size of the lock table. Tables hash onto
+// stripes, so two tables rarely share a lock; when they do the only
+// cost is false contention, never a correctness issue.
+const numLockStripes = 32
+
+// lockManager provides the engine's striped table locks. SELECTs take
+// a shared lock on their table's stripe, so reads of one table run
+// fully parallel; DML takes the stripe exclusively, so writes serialize
+// per table but writes to different tables (different stripes) do not
+// contend. DDL and multi-table rollback take every stripe in index
+// order, which together with single-stripe statements holding at most
+// one lock makes the discipline deadlock-free.
+//
+// Locks are statement-scoped, not transaction-scoped: an open
+// transaction's uncommitted changes are visible to other sessions, as
+// they were under the old global statement lock.
+type lockManager struct {
+	stripes [numLockStripes]sync.RWMutex
+}
+
+// stripe maps a table name to its lock via FNV-1a.
+func (lm *lockManager) stripe(table string) *sync.RWMutex {
+	h := uint32(2166136261)
+	for i := 0; i < len(table); i++ {
+		h ^= uint32(table[i])
+		h *= 16777619
+	}
+	return &lm.stripes[h%numLockStripes]
+}
+
+// shared takes the table's stripe shared and returns it for RUnlock.
+func (lm *lockManager) shared(table string) *sync.RWMutex {
+	mu := lm.stripe(table)
+	mu.RLock()
+	return mu
+}
+
+// exclusive takes the table's stripe exclusively and returns it for
+// Unlock.
+func (lm *lockManager) exclusive(table string) *sync.RWMutex {
+	mu := lm.stripe(table)
+	mu.Lock()
+	return mu
+}
+
+// lockAll takes every stripe exclusively, in index order. DDL (catalog
+// changes, index backfill) and rollback (undo may span tables) use it.
+func (lm *lockManager) lockAll() {
+	for i := range lm.stripes {
+		lm.stripes[i].Lock()
+	}
+}
+
+// unlockAll releases every stripe after lockAll.
+func (lm *lockManager) unlockAll() {
+	for i := range lm.stripes {
+		lm.stripes[i].Unlock()
+	}
+}

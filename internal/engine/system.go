@@ -144,11 +144,7 @@ func (e *Engine) Shutdown() []byte {
 }
 
 // Statements returns the number of executed statements.
-func (e *Engine) Statements() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.statements
-}
+func (e *Engine) Statements() uint64 { return e.statements.Load() }
 
 // SetSlowThreshold adjusts the slow-log threshold at runtime.
 func (e *Engine) SetSlowThreshold(d time.Duration) { e.slow.Threshold = d }

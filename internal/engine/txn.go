@@ -32,7 +32,8 @@ func (s *Session) noteUndo(rec wal.Record) {
 }
 
 // emitBinlog routes a statement's binlog event: buffered inside an open
-// transaction, written through otherwise.
+// transaction, committed through the binlog's group-commit pipeline
+// otherwise (which stamps the commit-time LSN and timestamp).
 func (s *Session) emitBinlog(e *Engine, ev binlog.Event) {
 	if !e.cfg.EnableBinlog {
 		return
@@ -41,7 +42,7 @@ func (s *Session) emitBinlog(e *Engine, ev binlog.Event) {
 		s.txn.binlogBuf = append(s.txn.binlogBuf, ev)
 		return
 	}
-	e.binlog.Append(ev)
+	e.binlog.Commit(ev)
 }
 
 // InTransaction reports whether the session has an open transaction.
@@ -59,12 +60,14 @@ func (e *Engine) execTxnControl(s *Session, st *sqlparse.TxnControl, ts int64) (
 		if s.txn == nil {
 			return nil, fmt.Errorf("engine: COMMIT without open transaction")
 		}
-		// Flush buffered statement events with the commit timestamp,
-		// as MySQL writes the binlog cache at commit.
-		for _, ev := range s.txn.binlogBuf {
-			ev.Timestamp = ts
-			e.binlog.Append(ev)
+		// Flush buffered statement events with the commit timestamp as
+		// one contiguous group-committed batch, as MySQL writes the
+		// binlog cache at commit.
+		evs := s.txn.binlogBuf
+		for i := range evs {
+			evs[i].Timestamp = ts
 		}
+		e.binlog.CommitBatch(evs)
 		s.txn = nil
 		return &Result{}, nil
 	case sqlparse.TxnRollback:

@@ -75,6 +75,7 @@ func All(quick bool) ([]Result, error) {
 		func(bool) (Result, error) { return E9AtRest() },
 		func(q bool) (Result, error) { return E10Diagnostics(q) },
 		func(q bool) (Result, error) { return E11Mitigations(q) },
+		func(q bool) (Result, error) { return E12Scaling(q) },
 	}
 	out := make([]Result, 0, len(runs))
 	for _, run := range runs {

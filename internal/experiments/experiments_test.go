@@ -247,6 +247,31 @@ func TestE11Mitigations(t *testing.T) {
 	}
 }
 
+func TestE12Scaling(t *testing.T) {
+	res, err := E12Scaling(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if row.PerSecond <= 0 {
+			t.Errorf("level %d: throughput %v", i, row.PerSecond)
+		}
+		if row.WALFlushes == 0 || row.Writes == 0 {
+			t.Errorf("level %d: no write traffic (flushes=%d writes=%d)", i, row.WALFlushes, row.Writes)
+		}
+	}
+	// The acceptance bar: ≥2x statements/sec at 4 goroutines vs 1.
+	if got := res.Rows[1].Speedup; got < 2 {
+		t.Errorf("speedup at 4 goroutines = %.2fx, want >= 2x", got)
+	}
+	if !strings.Contains(res.Render(), "goroutines") {
+		t.Error("render missing table header")
+	}
+}
+
 func TestAllQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")
@@ -255,7 +280,7 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 11 {
+	if len(results) != 12 {
 		t.Fatalf("got %d experiments", len(results))
 	}
 	seen := map[string]bool{}

@@ -23,14 +23,26 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"snapdb/internal/engine"
 	"snapdb/internal/sqlparse"
 )
 
+// DefaultIdleTimeout is how long a connection may sit idle between
+// statements before the server closes it. Idle sessions pin engine
+// state (processlist entries, session buffers), so they are reaped
+// like production servers reap them (cf. MySQL wait_timeout).
+const DefaultIdleTimeout = 5 * time.Minute
+
 // Server serves one engine to many TCP clients.
 type Server struct {
 	eng *engine.Engine
+
+	// IdleTimeout bounds the gap between statements on a connection;
+	// a connection idle longer is closed and its session released.
+	// Zero means DefaultIdleTimeout; negative disables the timeout.
+	IdleTimeout time.Duration
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -42,6 +54,17 @@ type Server struct {
 // New creates a server for the engine.
 func New(e *engine.Engine) *Server {
 	return &Server{eng: e, conns: make(map[net.Conn]struct{})}
+}
+
+// idleTimeout resolves the configured timeout.
+func (s *Server) idleTimeout() time.Duration {
+	switch {
+	case s.IdleTimeout == 0:
+		return DefaultIdleTimeout
+	case s.IdleTimeout < 0:
+		return 0
+	}
+	return s.IdleTimeout
 }
 
 // Serve accepts connections on ln until Close. It blocks.
@@ -122,10 +145,21 @@ func (s *Server) handle(conn net.Conn) {
 	sess := s.eng.Connect(conn.RemoteAddr().String())
 	defer sess.Close()
 
+	idle := s.idleTimeout()
 	r := bufio.NewScanner(conn)
 	r.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	w := bufio.NewWriter(conn)
-	for r.Scan() {
+	for {
+		// Arm the read deadline before each statement: a connection
+		// that stays silent past the idle timeout fails its next Read,
+		// Scan returns false, and the deferred cleanup releases the
+		// session — a clean idle close, never a leaked handler.
+		if idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		if !r.Scan() {
+			return
+		}
 		line := strings.TrimRight(r.Text(), "\r")
 		if line == "" {
 			continue

@@ -1,12 +1,14 @@
 package server_test
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"snapdb/internal/client"
 	"snapdb/internal/engine"
@@ -258,6 +260,80 @@ func TestDecodeValueErrors(t *testing.T) {
 		if _, err := server.DecodeValue(bad); err == nil {
 			t.Errorf("DecodeValue(%q) accepted", bad)
 		}
+	}
+}
+
+func TestIdleConnectionsAreClosed(t *testing.T) {
+	e, err := engine.New(engine.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(e)
+	srv.IdleTimeout = 100 * time.Millisecond
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe("127.0.0.1:0", ready) }()
+	addr := (<-ready).String()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Activity inside the window keeps the connection alive: each
+	// statement re-arms the deadline.
+	br := bufio.NewReader(conn)
+	if _, err := fmt.Fprintf(conn, "CREATE TABLE idle (id INT PRIMARY KEY)\n"); err != nil {
+		t.Fatal(err)
+	}
+	if line, err := br.ReadString('\n'); err != nil || !strings.HasPrefix(line, "OK") {
+		t.Fatalf("create: line=%q err=%v", line, err)
+	}
+	for i := 0; i < 3; i++ {
+		time.Sleep(40 * time.Millisecond)
+		if _, err := fmt.Fprintf(conn, "SELECT id FROM idle WHERE id = 0\n"); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if line, err := br.ReadString('\n'); err != nil || !strings.HasPrefix(line, "OK 0") {
+			t.Fatalf("statement %d: line=%q err=%v", i, line, err)
+		}
+	}
+
+	// Then go silent past the timeout: the server must close the
+	// connection (our read sees EOF) and release the session.
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.ReadByte(); err == nil {
+		t.Fatal("read after idle timeout returned data, want closed connection")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server did not close the idle connection within 2s")
+	}
+	// The session is gone from the processlist once the handler exits.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		alive := false
+		for _, p := range e.Processlist().Snapshot() {
+			if strings.Contains(p.User, "127.0.0.1") {
+				alive = true
+			}
+		}
+		if !alive {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle session still in processlist after close")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,134 @@
+// driver.go: the concurrent workload driver. Where the rest of this
+// package generates data for the leakage experiments, the driver
+// exercises the engine's concurrent execution path: N goroutines, each
+// with its own session, issuing a seeded, read-heavy statement mix over
+// several tables. E12 and BenchmarkConcurrentThroughput use it to
+// measure how statement throughput scales with session concurrency.
+
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"snapdb/internal/engine"
+)
+
+// DriverConfig configures one driver run.
+type DriverConfig struct {
+	Goroutines   int   // concurrent sessions (default 1)
+	Tables       int   // tables to spread statements over (default 4)
+	RowsPerTable int   // rows preloaded per table by SetupTables
+	Statements   int   // total statements across all goroutines
+	WriteEvery   int   // every Nth statement is an UPDATE; 0 disables writes
+	Seed         int64 // per-goroutine streams derive from this
+}
+
+func (c DriverConfig) normalized() DriverConfig {
+	if c.Goroutines <= 0 {
+		c.Goroutines = 1
+	}
+	if c.Tables <= 0 {
+		c.Tables = 4
+	}
+	if c.RowsPerTable <= 0 {
+		c.RowsPerTable = 100
+	}
+	return c
+}
+
+// DriverResult is one run's outcome.
+type DriverResult struct {
+	Statements int
+	Reads      int
+	Writes     int
+	Duration   time.Duration
+	PerSecond  float64
+}
+
+// DriverTableName names the driver's i-th table.
+func DriverTableName(i int) string { return fmt.Sprintf("bench%d", i) }
+
+// SetupTables creates and preloads the driver's tables
+// (bench0..bench{tables-1}), each with rows rows keyed 0..rows-1.
+func SetupTables(e *engine.Engine, tables, rows int) error {
+	s := e.Connect("driver-setup")
+	defer s.Close()
+	for t := 0; t < tables; t++ {
+		name := DriverTableName(t)
+		if _, err := s.Execute(fmt.Sprintf("CREATE TABLE %s (id INT PRIMARY KEY, v TEXT)", name)); err != nil {
+			return err
+		}
+		for r := 0; r < rows; r++ {
+			q := fmt.Sprintf("INSERT INTO %s (id, v) VALUES (%d, 'row-%05d')", name, r, r)
+			if _, err := s.Execute(q); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunDriver drives e with cfg.Goroutines concurrent sessions until
+// cfg.Statements statements have executed, and reports throughput.
+// SetupTables must have been run first with matching Tables and
+// RowsPerTable. The statement stream is deterministic per goroutine.
+func RunDriver(e *engine.Engine, cfg DriverConfig) (*DriverResult, error) {
+	cfg = cfg.normalized()
+	if cfg.Statements <= 0 {
+		return nil, fmt.Errorf("workload: driver needs a positive statement count")
+	}
+	perG := cfg.Statements / cfg.Goroutines
+	if perG == 0 {
+		perG = 1
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Goroutines)
+	reads := make([]int, cfg.Goroutines)
+	writes := make([]int, cfg.Goroutines)
+	start := time.Now()
+	for g := 0; g < cfg.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := e.Connect(fmt.Sprintf("driver%d", g))
+			defer s.Close()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(g)*7919))
+			for i := 0; i < perG; i++ {
+				table := DriverTableName(rng.Intn(cfg.Tables))
+				id := rng.Intn(cfg.RowsPerTable)
+				var q string
+				if cfg.WriteEvery > 0 && (i+1)%cfg.WriteEvery == 0 {
+					q = fmt.Sprintf("UPDATE %s SET v = 'upd-%d-%05d' WHERE id = %d", table, g, i, id)
+					writes[g]++
+				} else {
+					q = fmt.Sprintf("SELECT v FROM %s WHERE id = %d", table, id)
+					reads[g]++
+				}
+				if _, err := s.Execute(q); err != nil {
+					errs <- fmt.Errorf("workload: driver goroutine %d: %s: %w", g, q, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+
+	res := &DriverResult{Duration: time.Since(start)}
+	for g := 0; g < cfg.Goroutines; g++ {
+		res.Reads += reads[g]
+		res.Writes += writes[g]
+	}
+	res.Statements = res.Reads + res.Writes
+	if secs := res.Duration.Seconds(); secs > 0 {
+		res.PerSecond = float64(res.Statements) / secs
+	}
+	return res, nil
+}

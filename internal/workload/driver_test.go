@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"testing"
+
+	"snapdb/internal/engine"
+)
+
+func TestDriverRunsMixedWorkload(t *testing.T) {
+	e, err := engine.New(engine.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DriverConfig{
+		Goroutines:   4,
+		Tables:       3,
+		RowsPerTable: 50,
+		Statements:   400,
+		WriteEvery:   10,
+		Seed:         1,
+	}
+	if err := SetupTables(e, cfg.Tables, cfg.RowsPerTable); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDriver(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statements != 400 {
+		t.Errorf("statements = %d, want 400", res.Statements)
+	}
+	if res.Writes == 0 || res.Reads <= res.Writes {
+		t.Errorf("mix not read-heavy: %d reads, %d writes", res.Reads, res.Writes)
+	}
+	if res.PerSecond <= 0 {
+		t.Errorf("throughput = %v", res.PerSecond)
+	}
+	// Every UPDATE must have landed in the binlog, none of the SELECTs.
+	// 3 CREATEs + 150 setup INSERTs + the driver's writes.
+	wantEvents := cfg.Tables + cfg.Tables*cfg.RowsPerTable + res.Writes
+	if got := e.Binlog().Len(); got != wantEvents {
+		t.Errorf("binlog events = %d, want %d", got, wantEvents)
+	}
+}
+
+func TestDriverRejectsZeroStatements(t *testing.T) {
+	e, err := engine.New(engine.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDriver(e, DriverConfig{}); err == nil {
+		t.Error("want error for zero statement count")
+	}
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI gate: vet, build, full test suite, then the race detector over
+# everything. The -race step is load-bearing — the engine executes
+# concurrent sessions over striped table locks and group commit, and
+# the detector is what holds that machinery to its claims.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI OK"
