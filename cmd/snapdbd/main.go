@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	snapdbd [-addr 127.0.0.1:7001] [-harden] [-idle-timeout 5m]
+//	snapdbd [-addr 127.0.0.1:7001] [-harden] [-idle-timeout 5m] [-datadir DIR]
 //
 // Clients speak the line protocol of internal/server; the simplest
 // client is:
@@ -12,6 +12,21 @@
 // -harden applies the mitigate package's hardened configuration
 // (secure heap deletion, no performance_schema, scrubbed processlist,
 // no query cache or query logs).
+//
+// -datadir makes the engine durable: logs, checkpoints, and the
+// buffer-pool dump persist under DIR, and boot runs crash recovery
+// over whatever a previous process left there. Without it the engine
+// is memory-only, as before.
+//
+// SNAPDB_FAILPOINTS injects deterministic faults into the durable
+// file layer, for crash testing a live server. The format is
+// "point=kind[@hit],..." — for example
+//
+//	SNAPDB_FAILPOINTS='write:ib_logfile_redo=crash@120' snapdbd -datadir /tmp/d
+//
+// kills the process's storage at the 120th redo write; kinds are err,
+// torn, dropsync, bitflip, crash. SNAPDB_FAILPOINT_SEED seeds the
+// injector's randomness (torn lengths, flipped bits).
 package main
 
 import (
@@ -19,15 +34,20 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"strconv"
 
 	"snapdb/internal/engine"
+	"snapdb/internal/failpoint"
 	"snapdb/internal/mitigate"
 	"snapdb/internal/server"
+	"snapdb/internal/vfs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
 	harden := flag.Bool("harden", false, "apply the hardened configuration")
+	datadir := flag.String("datadir", "", "persist to this directory and recover from it at boot (empty = memory-only)")
 	idle := flag.Duration("idle-timeout", server.DefaultIdleTimeout,
 		"close connections idle longer than this (0 or negative disables)")
 	flag.Parse()
@@ -36,7 +56,7 @@ func main() {
 	if *harden {
 		cfg = mitigate.Harden(cfg, true)
 	}
-	e, err := engine.New(cfg)
+	e, err := openEngine(cfg, *datadir)
 	if err != nil {
 		log.Fatalf("snapdbd: %v", err)
 	}
@@ -54,4 +74,51 @@ func main() {
 	if err := srv.ListenAndServe(*addr, ready); err != nil {
 		log.Fatalf("snapdbd: %v", err)
 	}
+}
+
+// openEngine builds the engine: memory-only without a datadir, or
+// recovered from (and persisting to) the datadir, optionally wrapped
+// in the SNAPDB_FAILPOINTS fault injector.
+func openEngine(cfg engine.Config, datadir string) (*engine.Engine, error) {
+	if datadir == "" {
+		return engine.New(cfg)
+	}
+	if err := os.MkdirAll(datadir, 0o755); err != nil {
+		return nil, err
+	}
+	var fs vfs.FS
+	osfs, err := vfs.NewOSFS(datadir)
+	if err != nil {
+		return nil, err
+	}
+	fs = osfs
+	if spec := os.Getenv("SNAPDB_FAILPOINTS"); spec != "" {
+		var seed int64 = 1
+		if s := os.Getenv("SNAPDB_FAILPOINT_SEED"); s != "" {
+			seed, err = strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("SNAPDB_FAILPOINT_SEED: %w", err)
+			}
+		}
+		reg := failpoint.New(seed)
+		if err := reg.ArmSpec(spec); err != nil {
+			return nil, fmt.Errorf("SNAPDB_FAILPOINTS: %w", err)
+		}
+		fs = vfs.NewFaultFS(fs, reg)
+		fmt.Printf("snapdbd: fault injection armed: %s (seed %d)\n", spec, seed)
+	}
+	e, rep, err := engine.Recover(fs, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("recovering %s: %w", datadir, err)
+	}
+	fmt.Printf("snapdbd: recovered %s: checkpoint=%v tables=%d redo=%d applied=%d rolled_back=%d",
+		datadir, rep.CheckpointFound, rep.Tables, rep.RedoRecords, rep.RecordsApplied, rep.TxnsRolledBack)
+	if rep.RedoTruncated != nil {
+		fmt.Printf(" redo_truncated_at=%d (%s)", rep.RedoTruncated.Offset, rep.RedoTruncated.Reason)
+	}
+	if rep.BinlogTruncated != nil {
+		fmt.Printf(" binlog_truncated_at=%d (%s)", rep.BinlogTruncated.Offset, rep.BinlogTruncated.Reason)
+	}
+	fmt.Println()
+	return e, nil
 }

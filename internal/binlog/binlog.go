@@ -6,13 +6,18 @@
 // never purged without an explicit administrative command, and it gives
 // a disk-snapshot attacker both query text and timing.
 //
-// Reader implements the pre-installed mysqlbinlog-style utility view.
+// On disk (Serialize) every event travels inside a CRC32-C frame, so a
+// reader can stop cleanly at a torn or corrupt tail. Reader implements
+// the pre-installed mysqlbinlog-style utility view.
 package binlog
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
+
+	"snapdb/internal/storage"
 )
 
 // Event is one logged write transaction.
@@ -20,6 +25,43 @@ type Event struct {
 	Timestamp int64  // UNIX seconds
 	LSN       uint64 // engine LSN at commit time
 	Statement string // full statement text, literals included
+}
+
+// eventHeaderSize is the encoded event header: timestamp(8) lsn(8)
+// statementLen(4).
+const eventHeaderSize = 20
+
+// Encode serializes one event (the frame payload).
+func (ev Event) Encode() []byte {
+	out := make([]byte, 0, eventHeaderSize+len(ev.Statement))
+	out = binary.BigEndian.AppendUint64(out, uint64(ev.Timestamp))
+	out = binary.BigEndian.AppendUint64(out, ev.LSN)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(ev.Statement)))
+	return append(out, ev.Statement...)
+}
+
+// DecodeEvent parses one encoded event, returning it and the bytes
+// consumed. It never panics on malformed input.
+func DecodeEvent(b []byte) (Event, int, error) {
+	if len(b) < eventHeaderSize {
+		return Event{}, 0, fmt.Errorf("binlog: event header truncated (%d bytes)", len(b))
+	}
+	ev := Event{
+		Timestamp: int64(binary.BigEndian.Uint64(b)),
+		LSN:       binary.BigEndian.Uint64(b[8:]),
+	}
+	n := int(binary.BigEndian.Uint32(b[16:]))
+	if len(b) < eventHeaderSize+n {
+		return Event{}, 0, fmt.Errorf("binlog: statement truncated (want %d bytes)", n)
+	}
+	ev.Statement = string(b[eventHeaderSize : eventHeaderSize+n])
+	return ev, eventHeaderSize + n, nil
+}
+
+// pendBatch is one caller's events in the group-commit queue.
+type pendBatch struct {
+	evs    []Event
+	ticket uint64
 }
 
 // Log is the binary log. It grows without bound until Purge is called,
@@ -34,6 +76,10 @@ type Event struct {
 // the invariant the paper's LSN↔timestamp correlation (E3) regresses
 // over. A transaction's buffered events commit as one contiguous batch,
 // like MySQL's binlog cache.
+//
+// If a Sink is attached, the leader hands each flushed batch to it
+// before the events become visible in the log; a sink failure is
+// reported to every caller whose events rode in that batch.
 type Log struct {
 	mu     sync.Mutex // guards events
 	events []Event
@@ -43,9 +89,15 @@ type Log struct {
 	// Events passed to the raw Append keep their caller-supplied LSN.
 	LSNSource func() uint64
 
+	// Sink, if set, receives each flushed batch before it is appended
+	// to the in-memory log — the persistence layer's durability hook.
+	// Set it before concurrent use.
+	Sink func([]Event) error
+
 	gmu      sync.Mutex // guards the group-commit queue and stamps
 	flushed  *sync.Cond
-	pending  []Event
+	pending  []pendBatch
+	errs     map[uint64]error // per-ticket flush errors, read once by the waiter
 	flushing bool
 	enqTotal uint64
 	flTotal  uint64
@@ -56,14 +108,14 @@ type Log struct {
 
 // New creates an empty binlog.
 func New() *Log {
-	l := &Log{}
+	l := &Log{errs: make(map[uint64]error)}
 	l.flushed = sync.NewCond(&l.gmu)
 	return l
 }
 
 // Append records a write transaction exactly as given, bypassing the
-// group-commit stamping. Forensic tooling and tests use it to build
-// binlog images; the engine commits through Commit/CommitBatch.
+// group-commit stamping. Forensic tooling, recovery, and tests use it
+// to rebuild binlog images; the engine commits through Commit/CommitBatch.
 func (l *Log) Append(ev Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -71,16 +123,17 @@ func (l *Log) Append(ev Event) {
 }
 
 // Commit stamps and records one event through the group-commit
-// pipeline, returning once it is visible in the log.
-func (l *Log) Commit(ev Event) { l.CommitBatch([]Event{ev}) }
+// pipeline, returning once it is durable (if a Sink is attached) and
+// visible in the log.
+func (l *Log) Commit(ev Event) error { return l.CommitBatch([]Event{ev}) }
 
 // CommitBatch commits a transaction's events as one contiguous,
 // stamped batch. Within the enqueue critical section every event gets
 // its commit-time LSN (from LSNSource) and a timestamp clamped to the
 // previous commit's, so binlog order is non-decreasing in both fields.
-func (l *Log) CommitBatch(evs []Event) {
+func (l *Log) CommitBatch(evs []Event) error {
 	if len(evs) == 0 {
-		return
+		return nil
 	}
 	l.gmu.Lock()
 	for i := range evs {
@@ -96,31 +149,66 @@ func (l *Log) CommitBatch(evs []Event) {
 		}
 		l.lastTs = evs[i].Timestamp
 	}
-	l.pending = append(l.pending, evs...)
 	l.enqTotal += uint64(len(evs))
 	ticket := l.enqTotal
+	l.pending = append(l.pending, pendBatch{evs: evs, ticket: ticket})
 	if l.flushing {
 		for l.flTotal < ticket {
 			l.flushed.Wait()
 		}
+		err := l.errs[ticket]
+		delete(l.errs, ticket)
 		l.gmu.Unlock()
-		return
+		return err
 	}
 	l.flushing = true
+	sink := l.Sink
 	for len(l.pending) > 0 {
 		batch := l.pending
 		l.pending = nil
 		l.gmu.Unlock()
-		l.mu.Lock()
-		l.events = append(l.events, batch...)
-		l.mu.Unlock()
+		flat := make([]Event, 0, len(batch))
+		for _, b := range batch {
+			flat = append(flat, b.evs...)
+		}
+		var serr error
+		if sink != nil {
+			serr = sink(flat)
+		}
+		if serr == nil {
+			l.mu.Lock()
+			l.events = append(l.events, flat...)
+			l.mu.Unlock()
+		}
 		l.gmu.Lock()
-		l.flTotal += uint64(len(batch))
+		for _, b := range batch {
+			l.flTotal += uint64(len(b.evs))
+			if serr != nil {
+				l.errs[b.ticket] = serr
+			}
+		}
 		l.flushes++
 		l.flushed.Broadcast()
 	}
 	l.flushing = false
+	err := l.errs[ticket]
+	delete(l.errs, ticket)
 	l.gmu.Unlock()
+	return err
+}
+
+// Prime raises the monotone stamping floor. Recovery calls it after
+// repopulating the log from disk, so post-recovery commits continue
+// non-decreasing in timestamp and LSN.
+func (l *Log) Prime(ts int64, lsn uint64) {
+	l.gmu.Lock()
+	defer l.gmu.Unlock()
+	if ts > l.lastTs {
+		l.lastTs = ts
+	}
+	if lsn > l.lastLSN {
+		l.lastLSN = lsn
+	}
 }
 
 // GroupCommitStats reports committed event and batch-flush counts;
@@ -162,41 +250,73 @@ func (l *Log) Purge(before int64) int {
 }
 
 // Serialize renders the log as a byte image (the on-disk binlog file):
-// per event u64 timestamp, u64 LSN, u32 length, statement bytes.
+// one CRC32-C frame per event.
 func (l *Log) Serialize() []byte {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var out []byte
 	for _, ev := range l.events {
-		out = binary.BigEndian.AppendUint64(out, uint64(ev.Timestamp))
-		out = binary.BigEndian.AppendUint64(out, ev.LSN)
-		out = binary.BigEndian.AppendUint32(out, uint32(len(ev.Statement)))
-		out = append(out, ev.Statement...)
+		out = storage.AppendFrame(out, ev.Encode())
 	}
 	return out
 }
 
-// Parse decodes a Serialize image — the mysqlbinlog-equivalent reader a
-// forensic analyst runs over a stolen disk.
-func Parse(img []byte) ([]Event, error) {
+// ParseReport describes how a binlog image parse ended.
+type ParseReport struct {
+	// Events is the number of valid events parsed.
+	Events int
+	// TruncatedAt is the byte offset of the first bad frame, or -1 if
+	// the image parsed cleanly to the end.
+	TruncatedAt int
+	// Reason says why the scan stopped.
+	Reason string
+}
+
+// Truncated reports whether the parse stopped before the end of the
+// image.
+func (p ParseReport) Truncated() bool { return p.TruncatedAt >= 0 }
+
+// ParseWithReport decodes a Serialize image, stopping at the first torn
+// or corrupt frame and reporting where and why. It never panics on
+// malformed input.
+func ParseWithReport(img []byte) ([]Event, ParseReport) {
 	var out []Event
+	rep := ParseReport{TruncatedAt: -1}
 	pos := 0
 	for pos < len(img) {
-		if pos+20 > len(img) {
-			return nil, fmt.Errorf("binlog: event header truncated at offset %d", pos)
+		payload, n, err := storage.ReadFrame(img[pos:])
+		if err != nil {
+			rep.TruncatedAt = pos
+			if errors.Is(err, storage.ErrFrameTruncated) {
+				rep.Reason = "torn frame"
+			} else {
+				rep.Reason = err.Error()
+			}
+			return out, rep
 		}
-		ev := Event{
-			Timestamp: int64(binary.BigEndian.Uint64(img[pos:])),
-			LSN:       binary.BigEndian.Uint64(img[pos+8:]),
+		ev, en, derr := DecodeEvent(payload)
+		if derr != nil || en != len(payload) {
+			rep.TruncatedAt = pos
+			if derr == nil {
+				derr = fmt.Errorf("%d trailing bytes in frame", len(payload)-en)
+			}
+			rep.Reason = "bad event: " + derr.Error()
+			return out, rep
 		}
-		n := int(binary.BigEndian.Uint32(img[pos+16:]))
-		pos += 20
-		if pos+n > len(img) {
-			return nil, fmt.Errorf("binlog: statement truncated at offset %d (want %d bytes)", pos, n)
-		}
-		ev.Statement = string(img[pos : pos+n])
-		pos += n
 		out = append(out, ev)
+		rep.Events++
+		pos += n
 	}
-	return out, nil
+	return out, rep
+}
+
+// Parse decodes a Serialize image — the mysqlbinlog-equivalent reader a
+// forensic analyst runs over a stolen disk. Unlike ParseWithReport it
+// treats any truncation or corruption as an error.
+func Parse(img []byte) ([]Event, error) {
+	evs, rep := ParseWithReport(img)
+	if rep.Truncated() {
+		return nil, fmt.Errorf("binlog: bad image at offset %d: %s", rep.TruncatedAt, rep.Reason)
+	}
+	return evs, nil
 }

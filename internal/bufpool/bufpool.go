@@ -20,11 +20,14 @@ import (
 	"container/list"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"sync"
 
 	"snapdb/internal/storage"
 )
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Pool is an LRU buffer pool over a tablespace. Reads of pool state
 // (Contains, Len, Stats, LRUOrder, HotPages, DumpFile) take the lock
@@ -152,13 +155,15 @@ const dumpMagic = 0x53504442 // "SPDB"
 // SELECT access paths.
 func (p *Pool) DumpFile() []byte {
 	ids := p.LRUOrder()
-	out := make([]byte, 0, 8+4*len(ids))
+	out := make([]byte, 0, 12+4*len(ids))
 	out = binary.BigEndian.AppendUint32(out, dumpMagic)
 	out = binary.BigEndian.AppendUint32(out, uint32(len(ids)))
 	for _, id := range ids {
 		out = binary.BigEndian.AppendUint32(out, uint32(id))
 	}
-	return out
+	// CRC32-C over everything above, so a recovery can tell a damaged
+	// dump from a valid one instead of warming the pool with garbage.
+	return binary.BigEndian.AppendUint32(out, crc32.Checksum(out, castagnoli))
 }
 
 // ParseDump parses a DumpFile image back into the LRU-ordered id list.
@@ -171,8 +176,12 @@ func ParseDump(img []byte) ([]storage.PageID, error) {
 		return nil, fmt.Errorf("bufpool: bad dump magic %#x", binary.BigEndian.Uint32(img))
 	}
 	n := int(binary.BigEndian.Uint32(img[4:]))
-	if len(img) != 8+4*n {
-		return nil, fmt.Errorf("bufpool: dump is %d bytes, want %d for %d entries", len(img), 8+4*n, n)
+	if len(img) != 12+4*n {
+		return nil, fmt.Errorf("bufpool: dump is %d bytes, want %d for %d entries", len(img), 12+4*n, n)
+	}
+	body, sum := img[:len(img)-4], binary.BigEndian.Uint32(img[len(img)-4:])
+	if got := crc32.Checksum(body, castagnoli); got != sum {
+		return nil, fmt.Errorf("bufpool: dump checksum mismatch (%#x != %#x)", got, sum)
 	}
 	ids := make([]storage.PageID, n)
 	for i := 0; i < n; i++ {

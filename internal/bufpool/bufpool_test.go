@@ -6,7 +6,7 @@ import (
 	"snapdb/internal/storage"
 )
 
-func newPool(t *testing.T, capacity, pages int) (*Pool, []storage.PageID) {
+func newPool(t testing.TB, capacity, pages int) (*Pool, []storage.PageID) {
 	t.Helper()
 	ts := storage.NewTablespace()
 	ids := make([]storage.PageID, pages)

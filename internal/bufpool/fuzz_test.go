@@ -1,0 +1,48 @@
+package bufpool
+
+import (
+	"testing"
+)
+
+// FuzzParseDump asserts the dump parser never panics on arbitrary
+// bytes and that corruption is always reported as an error, never as a
+// silently wrong page list.
+func FuzzParseDump(f *testing.F) {
+	p, ids := newPool(f, 4, 3)
+	for _, id := range ids {
+		_, _ = p.Fetch(id)
+	}
+	img := p.DumpFile()
+	f.Add(img)
+	f.Add(img[:len(img)-1])
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ParseDump(data)
+		if err != nil && got != nil {
+			t.Fatal("error with non-nil result")
+		}
+	})
+}
+
+// FuzzDumpRoundTripBitflip flips one byte of a valid dump and asserts
+// the checksum catches it (or, for the length byte, the size check).
+func FuzzDumpRoundTripBitflip(f *testing.F) {
+	p, ids := newPool(f, 8, 5)
+	for _, id := range ids {
+		_, _ = p.Fetch(id)
+	}
+	img := p.DumpFile()
+	f.Add(0, uint8(1))
+	f.Add(len(img)-1, uint8(0x80))
+	f.Fuzz(func(t *testing.T, pos int, mask uint8) {
+		if pos < 0 || pos >= len(img) || mask == 0 {
+			return
+		}
+		bad := append([]byte(nil), img...)
+		bad[pos] ^= mask
+		if _, err := ParseDump(bad); err == nil {
+			t.Fatalf("bit flip at %d (mask %#x) went undetected", pos, mask)
+		}
+	})
+}

@@ -4,9 +4,11 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"strings"
+	"time"
 
 	"snapdb/internal/server"
 	"snapdb/internal/sqlparse"
@@ -33,6 +35,48 @@ func Dial(addr string) (*Conn, error) {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	return &Conn{c: c, r: bufio.NewReader(c)}, nil
+}
+
+// Backoff schedule for DialContext: exponential from 10ms, capped.
+const (
+	dialBackoffFloor = 10 * time.Millisecond
+	dialBackoffCap   = 640 * time.Millisecond
+)
+
+// DialContext connects to a snapdb server, retrying transient dial
+// failures (server still booting or recovering, connection refused)
+// with capped exponential backoff until the context's deadline or
+// cancellation. A server that just crashed takes a moment to replay
+// its logs; clients that redial with DialContext ride across the
+// recovery window instead of failing their first statement.
+func DialContext(ctx context.Context, addr string) (*Conn, error) {
+	var (
+		d       net.Dialer
+		lastErr error
+	)
+	backoff := dialBackoffFloor
+	for {
+		c, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return &Conn{c: c, r: bufio.NewReader(c)}, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(backoff):
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		backoff *= 2
+		if backoff > dialBackoffCap {
+			backoff = dialBackoffCap
+		}
+	}
+	return nil, fmt.Errorf("client: dial %s: %w (last attempt: %v)", addr, ctx.Err(), lastErr)
 }
 
 // Close closes the connection.

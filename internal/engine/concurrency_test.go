@@ -4,7 +4,21 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"snapdb/internal/wal"
 )
+
+// dataRecords filters commit/abort markers out of a WAL record slice,
+// leaving only row-change records.
+func dataRecords(recs []wal.Record) []wal.Record {
+	out := recs[:0:0]
+	for _, r := range recs {
+		if !r.Op.IsMarker() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
 
 // TestConcurrentMixedMultiTable drives concurrent sessions issuing a
 // mixed SELECT/INSERT stream over two tables — the workload the striped
@@ -77,8 +91,8 @@ func TestConcurrentMixedMultiTable(t *testing.T) {
 
 	// (b) WAL order: strictly increasing LSNs in both logs.
 	redo := e.WAL().Redo.Records()
-	if len(redo) != workers*perWorker {
-		t.Fatalf("redo records = %d, want %d", len(redo), workers*perWorker)
+	if got := len(dataRecords(redo)); got != workers*perWorker {
+		t.Fatalf("redo data records = %d, want %d", got, workers*perWorker)
 	}
 	undo := e.WAL().Undo.Records()
 	for i := 1; i < len(redo); i++ {
@@ -155,8 +169,8 @@ func TestConcurrentSessions(t *testing.T) {
 		t.Errorf("count = %d, want %d", res.Rows[0][0].Int, workers*perWorker)
 	}
 	// Every write made it into the WAL and binlog exactly once.
-	if got := len(e.WAL().Redo.Records()); got != workers*perWorker {
-		t.Errorf("WAL records = %d, want %d", got, workers*perWorker)
+	if got := len(dataRecords(e.WAL().Redo.Records())); got != workers*perWorker {
+		t.Errorf("WAL data records = %d, want %d", got, workers*perWorker)
 	}
 	if got := e.Binlog().Len(); got != workers*perWorker+1 { // +1 CREATE
 		t.Errorf("binlog events = %d, want %d", got, workers*perWorker+1)

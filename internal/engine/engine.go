@@ -40,6 +40,7 @@ import (
 	"snapdb/internal/querycache"
 	"snapdb/internal/sqlparse"
 	"snapdb/internal/storage"
+	"snapdb/internal/vfs"
 	"snapdb/internal/wal"
 )
 
@@ -72,6 +73,15 @@ type Config struct {
 	// statement lock, independent of core count. Default 0 (off), so
 	// experiments and tests are unaffected.
 	SimulatedIOWait time.Duration
+
+	// FS, when set, makes the engine durable: every WAL and binlog
+	// group-commit batch is checksummed, appended and fsynced to files
+	// in this filesystem before the statement returns, DDL writes a
+	// crash-atomic checkpoint, and periodic buffer-pool dumps go to
+	// disk. Nil (the default) keeps the engine fully in-memory, as the
+	// experiments and most tests use it. Use Recover to reopen an
+	// existing data directory; New on a non-empty FS starts fresh.
+	FS vfs.FS
 }
 
 // Defaults returns the production-like default configuration the paper
@@ -168,6 +178,14 @@ type Engine struct {
 	nextSession int
 	bufpoolDump []byte // last periodic dump of the buffer pool
 
+	// persist is the durability sink; nil for an in-memory engine.
+	persist *persistor
+	// openTxns counts sessions with an open explicit transaction;
+	// checkpoints (and therefore DDL on a durable engine) refuse while
+	// it is nonzero, because open transactions' undo information lives
+	// in the WAL files a checkpoint truncates.
+	openTxns atomic.Int64
+
 	statements atomic.Uint64 // executed statement count, drives periodic dumps
 }
 
@@ -214,7 +232,27 @@ func New(cfg Config) (*Engine, error) {
 	e.slow.Threshold = cfg.SlowThreshold
 	e.arena.SecureDelete = cfg.SecureHeapDelete
 	e.procs.Scrub = cfg.ScrubProcesslist
+	if cfg.FS != nil {
+		if err := e.attachPersist(cfg.FS, 0, 0, 0); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
+}
+
+// attachPersist wires the durability sink into the WAL and binlog
+// group-commit pipelines. The offsets are the valid prefixes of the
+// existing log files (zero for a fresh engine); anything beyond them is
+// truncated away.
+func (e *Engine) attachPersist(fs vfs.FS, redoOff, undoOff, blogOff int64) error {
+	p, err := newPersistor(fs, redoOff, undoOff, blogOff)
+	if err != nil {
+		return err
+	}
+	e.persist = p
+	e.wal.Sink = p.appendWAL
+	e.binlog.Sink = p.appendBinlog
+	return nil
 }
 
 // Config returns the normalized configuration.
@@ -317,6 +355,12 @@ func (s *Session) Execute(query string) (*Result, error) {
 		e.mu.Lock()
 		e.bufpoolDump = dump
 		e.mu.Unlock()
+		if e.persist != nil {
+			// Best-effort, like MySQL's periodic dump: the statement
+			// already succeeded, and recovery validates the dump's
+			// checksum before trusting it.
+			_ = e.persist.writeDump(dump)
+		}
 	}
 	return res, err
 }
@@ -393,6 +437,11 @@ func (e *Engine) execute(s *Session, query string, ts int64) (*Result, error) {
 }
 
 func (e *Engine) execCreate(st *sqlparse.CreateTable, query string, ts int64) (*Result, error) {
+	if e.persist != nil {
+		if n := e.openTxns.Load(); n != 0 {
+			return nil, fmt.Errorf("engine: DDL refused: %d open transaction(s)", n)
+		}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, exists := e.tables[st.Table]; exists {
@@ -429,7 +478,19 @@ func (e *Engine) execCreate(st *sqlparse.CreateTable, query string, ts int64) (*
 	e.tables[st.Table] = t
 	e.tablesByID[t.ID] = t
 	if e.cfg.EnableBinlog {
-		e.binlog.Commit(binlog.Event{Timestamp: ts, Statement: query})
+		if err := e.binlog.Commit(binlog.Event{Timestamp: ts, Statement: query}); err != nil {
+			return nil, fmt.Errorf("engine: binlog: %w", err)
+		}
+	}
+	// The catalog is not WAL-logged; on a durable engine DDL persists by
+	// checkpointing, so every later WAL record references a table the
+	// checkpoint already knows. (execute holds all locks; e.mu must be
+	// released for the checkpoint's own locking.)
+	e.mu.Unlock()
+	err := e.checkpointLocked()
+	e.mu.Lock()
+	if err != nil {
+		return nil, fmt.Errorf("engine: DDL checkpoint: %w", err)
 	}
 	return &Result{}, nil
 }
@@ -479,6 +540,7 @@ func (e *Engine) execInsert(s *Session, st *sqlparse.Insert, query string, ts in
 		}
 		rows = append(rows, row)
 	}
+	txn, auto := s.stmtTxn(e)
 	for _, row := range rows {
 		if err := t.Tree.Insert(row); err != nil {
 			return nil, err
@@ -486,11 +548,21 @@ func (e *Engine) execInsert(s *Session, st *sqlparse.Insert, query string, ts in
 		if err := indexInsertRow(t, row); err != nil {
 			return nil, err
 		}
-		_, undo := e.wal.LogInsert(t.ID, row)
+		_, undo, err := e.wal.TxInsert(txn, t.ID, row)
+		if err != nil {
+			return nil, fmt.Errorf("engine: wal: %w", err)
+		}
 		s.noteUndo(undo)
 	}
 	e.qcache.InvalidateTable(t.Name)
-	s.emitBinlog(e, binlog.Event{Timestamp: ts, Statement: query})
+	if err := s.emitBinlog(e, binlog.Event{Timestamp: ts, Statement: query}); err != nil {
+		return nil, err
+	}
+	if auto && len(rows) > 0 {
+		if err := e.wal.LogCommit(txn); err != nil {
+			return nil, fmt.Errorf("engine: wal commit: %w", err)
+		}
+	}
 	return &Result{RowsAffected: len(rows)}, nil
 }
 
@@ -798,13 +870,17 @@ func (e *Engine) execUpdate(s *Session, st *sqlparse.Update, query string, ts in
 		}
 		sets = append(sets, setOp{idx, a.Value})
 	}
+	txn, auto := s.stmtTxn(e)
 	for _, old := range rows {
 		updated := old.Clone()
 		for _, op := range sets {
 			// Byte-level change records, one per modified column.
-			_, undo := e.wal.LogUpdate(t.ID,
+			_, undo, err := e.wal.TxUpdate(txn, t.ID,
 				storage.Record{old[t.PKIndex]}, uint8(op.idx),
 				storage.Record{old[op.idx]}, storage.Record{op.val})
+			if err != nil {
+				return nil, fmt.Errorf("engine: wal: %w", err)
+			}
 			s.noteUndo(undo)
 			if err := indexUpdateColumn(t, old[t.PKIndex], op.idx, old[op.idx], op.val); err != nil {
 				return nil, err
@@ -817,7 +893,14 @@ func (e *Engine) execUpdate(s *Session, st *sqlparse.Update, query string, ts in
 	}
 	e.qcache.InvalidateTable(t.Name)
 	if len(rows) > 0 {
-		s.emitBinlog(e, binlog.Event{Timestamp: ts, Statement: query})
+		if err := s.emitBinlog(e, binlog.Event{Timestamp: ts, Statement: query}); err != nil {
+			return nil, err
+		}
+		if auto {
+			if err := e.wal.LogCommit(txn); err != nil {
+				return nil, fmt.Errorf("engine: wal commit: %w", err)
+			}
+		}
 	}
 	return &Result{RowsAffected: len(rows), RowsExamined: examined}, nil
 }
@@ -831,6 +914,7 @@ func (e *Engine) execDelete(s *Session, st *sqlparse.Delete, query string, ts in
 	if err != nil {
 		return nil, err
 	}
+	txn, auto := s.stmtTxn(e)
 	for _, old := range rows {
 		if _, err := t.Tree.Delete(old[t.PKIndex]); err != nil {
 			return nil, err
@@ -838,12 +922,22 @@ func (e *Engine) execDelete(s *Session, st *sqlparse.Delete, query string, ts in
 		if err := indexDeleteRow(t, old); err != nil {
 			return nil, err
 		}
-		_, undo := e.wal.LogDelete(t.ID, old)
+		_, undo, err := e.wal.TxDelete(txn, t.ID, old)
+		if err != nil {
+			return nil, fmt.Errorf("engine: wal: %w", err)
+		}
 		s.noteUndo(undo)
 	}
 	e.qcache.InvalidateTable(t.Name)
 	if len(rows) > 0 {
-		s.emitBinlog(e, binlog.Event{Timestamp: ts, Statement: query})
+		if err := s.emitBinlog(e, binlog.Event{Timestamp: ts, Statement: query}); err != nil {
+			return nil, err
+		}
+		if auto {
+			if err := e.wal.LogCommit(txn); err != nil {
+				return nil, fmt.Errorf("engine: wal commit: %w", err)
+			}
+		}
 	}
 	return &Result{RowsAffected: len(rows), RowsExamined: examined}, nil
 }

@@ -295,7 +295,7 @@ func TestWALRecordsByteLevelChanges(t *testing.T) {
 	mustExec(t, s, "UPDATE t SET v = 'modified' WHERE id = 7")
 	mustExec(t, s, "DELETE FROM t WHERE id = 7")
 
-	redo := e.WAL().Redo.Records()
+	redo := dataRecords(e.WAL().Redo.Records())
 	undo := e.WAL().Undo.Records()
 	if len(redo) != 3 || len(undo) != 3 {
 		t.Fatalf("redo=%d undo=%d", len(redo), len(undo))

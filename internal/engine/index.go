@@ -50,6 +50,11 @@ func (e *Engine) execCreateIndex(s *Session, st *sqlparse.CreateIndex, query str
 	if s.txn != nil {
 		return nil, fmt.Errorf("engine: DDL inside a transaction is not supported")
 	}
+	if e.persist != nil {
+		if n := e.openTxns.Load(); n != 0 {
+			return nil, fmt.Errorf("engine: DDL refused: %d open transaction(s)", n)
+		}
+	}
 	t, err := e.lookupTable(st.Table)
 	if err != nil {
 		return nil, err
@@ -97,7 +102,14 @@ func (e *Engine) execCreateIndex(s *Session, st *sqlparse.CreateIndex, query str
 	sort.Slice(t.Indexes, func(i, j int) bool { return t.Indexes[i].Name < t.Indexes[j].Name })
 	e.mu.Unlock()
 	if e.cfg.EnableBinlog {
-		e.binlog.Commit(binlog.Event{Timestamp: ts, Statement: query})
+		if err := e.binlog.Commit(binlog.Event{Timestamp: ts, Statement: query}); err != nil {
+			return nil, fmt.Errorf("engine: binlog: %w", err)
+		}
+	}
+	// Like CREATE TABLE: the catalog (and the backfilled index tree) is
+	// not WAL-logged, so a durable engine persists it by checkpointing.
+	if err := e.checkpointLocked(); err != nil {
+		return nil, fmt.Errorf("engine: DDL checkpoint: %w", err)
 	}
 	return &Result{}, nil
 }

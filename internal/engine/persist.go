@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"snapdb/internal/binlog"
+	"snapdb/internal/sqlparse"
+	"snapdb/internal/storage"
+	"snapdb/internal/vfs"
+	"snapdb/internal/wal"
+)
+
+// On-disk file names in a durable engine's data directory. The log and
+// dump names match the snapshot package's MySQL-style names so the
+// forensic tooling reads a live data directory and a disk snapshot the
+// same way.
+const (
+	FileCheckpoint = "checkpoint.snapdb"
+	FileRedo       = "ib_logfile_redo"
+	FileUndo       = "ib_logfile_undo"
+	FileBinlog     = "binlog.000001"
+	FileBufferPool = "ib_buffer_pool"
+)
+
+// persistor is the engine's durability sink. The WAL and binlog group
+// commit leaders call into it with each flushed batch; it appends the
+// batch to the corresponding file inside CRC32-C frames and fsyncs
+// before the batch is acknowledged, so a statement only returns success
+// once its log records are on stable storage.
+//
+// Append offsets only advance after a successful write+sync: a failed
+// or torn batch is overwritten by the next one, and a crash leaves at
+// worst a torn tail that recovery truncates.
+type persistor struct {
+	mu   sync.Mutex
+	fs   vfs.FS
+	redo vfs.File
+	undo vfs.File
+	blog vfs.File
+
+	redoOff int64
+	undoOff int64
+	blogOff int64
+}
+
+// openOrCreate opens name, creating it if missing.
+func openOrCreate(fs vfs.FS, name string) (vfs.File, error) {
+	f, err := fs.Open(name)
+	if errors.Is(err, os.ErrNotExist) {
+		return fs.Create(name)
+	}
+	return f, err
+}
+
+// newPersistor opens (or creates) the three append-only log files and
+// truncates each to the given valid-prefix offset — 0 for a fresh
+// engine, the parse-verified prefix after recovery (cutting off any
+// torn tail a crash left).
+func newPersistor(fs vfs.FS, redoOff, undoOff, blogOff int64) (*persistor, error) {
+	p := &persistor{fs: fs, redoOff: redoOff, undoOff: undoOff, blogOff: blogOff}
+	for _, it := range []struct {
+		name string
+		off  int64
+		dst  *vfs.File
+	}{
+		{FileRedo, redoOff, &p.redo},
+		{FileUndo, undoOff, &p.undo},
+		{FileBinlog, blogOff, &p.blog},
+	} {
+		f, err := openOrCreate(fs, it.name)
+		if err != nil {
+			return nil, fmt.Errorf("engine: open %s: %w", it.name, err)
+		}
+		if err := f.Truncate(it.off); err != nil {
+			return nil, fmt.Errorf("engine: truncate %s: %w", it.name, err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("engine: sync %s: %w", it.name, err)
+		}
+		*it.dst = f
+	}
+	if err := fs.SyncDir(); err != nil {
+		return nil, fmt.Errorf("engine: syncdir: %w", err)
+	}
+	return p, nil
+}
+
+// appendWAL is the wal.Manager sink: persist one group-commit batch to
+// the redo and undo files.
+func (p *persistor) appendWAL(redo, undo []wal.Record) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var redoBuf, undoBuf []byte
+	for _, r := range redo {
+		redoBuf = storage.AppendFrame(redoBuf, r.Encode())
+	}
+	for _, r := range undo {
+		undoBuf = storage.AppendFrame(undoBuf, r.Encode())
+	}
+	if _, err := p.redo.WriteAt(redoBuf, p.redoOff); err != nil {
+		return fmt.Errorf("engine: redo append: %w", err)
+	}
+	if len(undoBuf) > 0 {
+		if _, err := p.undo.WriteAt(undoBuf, p.undoOff); err != nil {
+			return fmt.Errorf("engine: undo append: %w", err)
+		}
+	}
+	if err := p.redo.Sync(); err != nil {
+		return fmt.Errorf("engine: redo sync: %w", err)
+	}
+	if len(undoBuf) > 0 {
+		if err := p.undo.Sync(); err != nil {
+			return fmt.Errorf("engine: undo sync: %w", err)
+		}
+	}
+	p.redoOff += int64(len(redoBuf))
+	p.undoOff += int64(len(undoBuf))
+	return nil
+}
+
+// appendBinlog is the binlog.Log sink: persist one group-commit batch
+// of events.
+func (p *persistor) appendBinlog(evs []binlog.Event) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var buf []byte
+	for _, ev := range evs {
+		buf = storage.AppendFrame(buf, ev.Encode())
+	}
+	if _, err := p.blog.WriteAt(buf, p.blogOff); err != nil {
+		return fmt.Errorf("engine: binlog append: %w", err)
+	}
+	if err := p.blog.Sync(); err != nil {
+		return fmt.Errorf("engine: binlog sync: %w", err)
+	}
+	p.blogOff += int64(len(buf))
+	return nil
+}
+
+// writeDump persists the periodic buffer-pool dump crash-atomically.
+func (p *persistor) writeDump(dump []byte) error {
+	return vfs.WriteFileAtomic(p.fs, FileBufferPool, dump)
+}
+
+// ckptIndex, ckptTable and ckptMeta are the checkpoint's catalog
+// section: everything needed to reopen the B+ trees inside the
+// checkpointed tablespace image.
+type ckptIndex struct {
+	Name   string
+	Column string
+	ColIdx int
+	Root   storage.PageID
+}
+
+type ckptTable struct {
+	ID      uint8
+	Name    string
+	Columns []sqlparse.ColumnDef
+	PK      int
+	Root    storage.PageID
+	Indexes []ckptIndex
+}
+
+type ckptMeta struct {
+	LSN         uint64
+	Txn         uint64
+	NextTableID uint8
+	Tables      []ckptTable
+}
+
+// writeCheckpoint persists a quiesced engine image — catalog metadata
+// and the full tablespace — as one crash-atomic file, then truncates
+// the redo and undo files whose records the image supersedes. A crash
+// between the two steps is safe: recovery skips WAL records at or
+// below the checkpoint LSN.
+func (p *persistor) writeCheckpoint(meta ckptMeta, tsImage []byte) error {
+	metaBuf, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("engine: checkpoint meta: %w", err)
+	}
+	buf := storage.AppendFrame(nil, metaBuf)
+	buf = storage.AppendFrame(buf, tsImage)
+	if err := vfs.WriteFileAtomic(p.fs, FileCheckpoint, buf); err != nil {
+		return fmt.Errorf("engine: checkpoint write: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, it := range []struct {
+		name string
+		f    vfs.File
+		off  *int64
+	}{
+		{FileRedo, p.redo, &p.redoOff},
+		{FileUndo, p.undo, &p.undoOff},
+	} {
+		if err := it.f.Truncate(0); err != nil {
+			return fmt.Errorf("engine: truncate %s: %w", it.name, err)
+		}
+		if err := it.f.Sync(); err != nil {
+			return fmt.Errorf("engine: sync %s: %w", it.name, err)
+		}
+		*it.off = 0
+	}
+	return nil
+}
+
+// readCheckpoint loads and validates the checkpoint file. Missing file:
+// (zero meta, nil image, false, nil). Corrupt file: error — never a
+// panic, and never a silently half-loaded catalog.
+func readCheckpoint(fs vfs.FS) (ckptMeta, []byte, bool, error) {
+	var meta ckptMeta
+	img, err := fs.ReadFile(FileCheckpoint)
+	if errors.Is(err, os.ErrNotExist) {
+		return meta, nil, false, nil
+	}
+	if err != nil {
+		return meta, nil, false, fmt.Errorf("engine: read checkpoint: %w", err)
+	}
+	metaBuf, n, err := storage.ReadFrame(img)
+	if err != nil {
+		return meta, nil, false, fmt.Errorf("engine: checkpoint meta frame: %w", err)
+	}
+	tsImage, n2, err := storage.ReadFrame(img[n:])
+	if err != nil {
+		return meta, nil, false, fmt.Errorf("engine: checkpoint tablespace frame: %w", err)
+	}
+	if n+n2 != len(img) {
+		return meta, nil, false, fmt.Errorf("engine: checkpoint has %d trailing bytes", len(img)-n-n2)
+	}
+	if err := json.Unmarshal(metaBuf, &meta); err != nil {
+		return meta, nil, false, fmt.Errorf("engine: checkpoint meta: %w", err)
+	}
+	return meta, tsImage, true, nil
+}
+
+// checkpointLocked writes a checkpoint of the current engine state.
+// Callers must hold all table locks (the engine must be quiesced) and
+// have verified no transactions are open.
+func (e *Engine) checkpointLocked() error {
+	if e.persist == nil {
+		return nil
+	}
+	e.mu.Lock()
+	meta := ckptMeta{
+		LSN:         e.wal.CurrentLSN(),
+		Txn:         e.wal.TxnSeq(),
+		NextTableID: e.nextTableID,
+	}
+	for _, t := range e.tables {
+		ct := ckptTable{
+			ID:      t.ID,
+			Name:    t.Name,
+			Columns: t.Columns,
+			PK:      t.PKIndex,
+			Root:    t.Tree.Root(),
+		}
+		for _, ix := range t.Indexes {
+			ct.Indexes = append(ct.Indexes, ckptIndex{
+				Name: ix.Name, Column: ix.Column, ColIdx: ix.colIdx, Root: ix.Tree.Root(),
+			})
+		}
+		meta.Tables = append(meta.Tables, ct)
+	}
+	tsImage := e.ts.Serialize()
+	e.mu.Unlock()
+	if err := e.persist.writeCheckpoint(meta, tsImage); err != nil {
+		return err
+	}
+	// The in-memory circular logs mirror the (now empty) disk logs.
+	e.wal.Redo.Reset()
+	e.wal.Undo.Reset()
+	return nil
+}
+
+// Checkpoint quiesces the engine and persists a crash-atomic image of
+// the catalog and tablespace, truncating the WAL files it supersedes.
+// It refuses while any explicit transaction is open, because their
+// undo information lives in those WAL files. No-op for a non-durable
+// engine.
+func (e *Engine) Checkpoint() error {
+	if e.persist == nil {
+		return nil
+	}
+	e.locks.lockAll()
+	defer e.locks.unlockAll()
+	if n := e.openTxns.Load(); n != 0 {
+		return fmt.Errorf("engine: checkpoint refused: %d open transaction(s)", n)
+	}
+	return e.checkpointLocked()
+}

@@ -18,8 +18,21 @@ import (
 // binlog is commit-scoped: statement events buffer in the transaction
 // and flush on COMMIT, as in MySQL's binlog cache.
 type txnState struct {
+	walTxn    uint64         // WAL transaction id (stamps every record)
 	undo      []wal.Record   // this transaction's undo records, in order
 	binlogBuf []binlog.Event // statement events awaiting COMMIT
+}
+
+// stmtTxn returns the WAL transaction id a statement logs under: the
+// open explicit transaction's, or a fresh ephemeral id whose commit
+// marker the statement itself writes (auto=true). Recovery replays a
+// transaction only if its commit marker reached disk, so autocommit
+// statements are crash-atomic too.
+func (s *Session) stmtTxn(e *Engine) (txn uint64, auto bool) {
+	if s.txn != nil {
+		return s.txn.walTxn, false
+	}
+	return e.wal.BeginTxn(), true
 }
 
 // noteUndo buffers an undo record when a transaction is open. In
@@ -33,16 +46,20 @@ func (s *Session) noteUndo(rec wal.Record) {
 
 // emitBinlog routes a statement's binlog event: buffered inside an open
 // transaction, committed through the binlog's group-commit pipeline
-// otherwise (which stamps the commit-time LSN and timestamp).
-func (s *Session) emitBinlog(e *Engine, ev binlog.Event) {
+// otherwise (which stamps the commit-time LSN and timestamp). The
+// returned error is the durability sink's, if one is attached.
+func (s *Session) emitBinlog(e *Engine, ev binlog.Event) error {
 	if !e.cfg.EnableBinlog {
-		return
+		return nil
 	}
 	if s.txn != nil {
 		s.txn.binlogBuf = append(s.txn.binlogBuf, ev)
-		return
+		return nil
 	}
-	e.binlog.Commit(ev)
+	if err := e.binlog.Commit(ev); err != nil {
+		return fmt.Errorf("engine: binlog: %w", err)
+	}
+	return nil
 }
 
 // InTransaction reports whether the session has an open transaction.
@@ -54,7 +71,8 @@ func (e *Engine) execTxnControl(s *Session, st *sqlparse.TxnControl, ts int64) (
 		if s.txn != nil {
 			return nil, fmt.Errorf("engine: transaction already open")
 		}
-		s.txn = &txnState{}
+		s.txn = &txnState{walTxn: e.wal.BeginTxn()}
+		e.openTxns.Add(1)
 		return &Result{}, nil
 	case sqlparse.TxnCommit:
 		if s.txn == nil {
@@ -62,13 +80,26 @@ func (e *Engine) execTxnControl(s *Session, st *sqlparse.TxnControl, ts int64) (
 		}
 		// Flush buffered statement events with the commit timestamp as
 		// one contiguous group-committed batch, as MySQL writes the
-		// binlog cache at commit.
+		// binlog cache at commit. On a sink failure the transaction
+		// stays open: nothing is durable, and the client may retry or
+		// roll back.
 		evs := s.txn.binlogBuf
 		for i := range evs {
 			evs[i].Timestamp = ts
 		}
-		e.binlog.CommitBatch(evs)
+		if err := e.binlog.CommitBatch(evs); err != nil {
+			return nil, fmt.Errorf("engine: binlog: %w", err)
+		}
+		s.txn.binlogBuf = nil
+		// The commit marker is the transaction's durability point:
+		// recovery replays these changes only once it is on disk.
+		if len(s.txn.undo) > 0 {
+			if err := e.wal.LogCommit(s.txn.walTxn); err != nil {
+				return nil, fmt.Errorf("engine: wal commit: %w", err)
+			}
+		}
 		s.txn = nil
+		e.openTxns.Add(-1)
 		return &Result{}, nil
 	case sqlparse.TxnRollback:
 		if s.txn == nil {
@@ -76,8 +107,17 @@ func (e *Engine) execTxnControl(s *Session, st *sqlparse.TxnControl, ts int64) (
 		}
 		txn := s.txn
 		s.txn = nil // compensations below run in autocommit mode
-		if err := e.applyUndo(txn.undo); err != nil {
+		e.openTxns.Add(-1)
+		if err := e.applyUndo(txn.walTxn, txn.undo); err != nil {
 			return nil, fmt.Errorf("engine: rollback: %w", err)
+		}
+		// The abort marker records that the rollback ran to completion;
+		// after a crash, recovery sees it and leaves the compensated
+		// state alone instead of undoing a second time.
+		if len(txn.undo) > 0 {
+			if err := e.wal.LogAbort(txn.walTxn); err != nil {
+				return nil, fmt.Errorf("engine: wal abort: %w", err)
+			}
 		}
 		return &Result{RowsAffected: len(txn.undo)}, nil
 	default:
@@ -85,10 +125,11 @@ func (e *Engine) execTxnControl(s *Session, st *sqlparse.TxnControl, ts int64) (
 	}
 }
 
-// applyUndo reverses the transaction's changes newest-first, logging
-// compensating records to the WAL (as InnoDB does) — which is exactly
-// why §3 notes that even aborted activity persists on disk.
-func (e *Engine) applyUndo(undo []wal.Record) error {
+// applyUndo reverses a transaction's changes newest-first, logging
+// compensating records to the WAL under the same transaction id (as
+// InnoDB does) — which is exactly why §3 notes that even aborted
+// activity persists on disk.
+func (e *Engine) applyUndo(txn uint64, undo []wal.Record) error {
 	for i := len(undo) - 1; i >= 0; i-- {
 		rec := undo[i]
 		t, ok := e.TableByID(rec.Table)
@@ -114,7 +155,9 @@ func (e *Engine) applyUndo(undo []wal.Record) error {
 				if err := indexDeleteRow(t, row); err != nil {
 					return err
 				}
-				e.wal.LogDelete(t.ID, storage.Record{key})
+				if _, _, err := e.wal.TxDelete(txn, t.ID, storage.Record{key}); err != nil {
+					return fmt.Errorf("logging compensation: %w", err)
+				}
 			}
 		case wal.OpUpdate:
 			// Undo an update: restore the old column value.
@@ -134,8 +177,10 @@ func (e *Engine) applyUndo(undo []wal.Record) error {
 				return fmt.Errorf("undo column %d out of range", col)
 			}
 			restored := cur.Clone()
-			e.wal.LogUpdate(t.ID, storage.Record{key}, rec.Column,
-				storage.Record{cur[col]}, storage.Record{oldVal})
+			if _, _, err := e.wal.TxUpdate(txn, t.ID, storage.Record{key}, rec.Column,
+				storage.Record{cur[col]}, storage.Record{oldVal}); err != nil {
+				return fmt.Errorf("logging compensation: %w", err)
+			}
 			if err := indexUpdateColumn(t, key, col, cur[col], oldVal); err != nil {
 				return err
 			}
@@ -151,7 +196,9 @@ func (e *Engine) applyUndo(undo []wal.Record) error {
 			if err := indexInsertRow(t, rec.Image); err != nil {
 				return err
 			}
-			e.wal.LogInsert(t.ID, rec.Image)
+			if _, _, err := e.wal.TxInsert(txn, t.ID, rec.Image); err != nil {
+				return fmt.Errorf("logging compensation: %w", err)
+			}
 		default:
 			return fmt.Errorf("unknown undo op %v", rec.Op)
 		}

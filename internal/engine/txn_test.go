@@ -134,14 +134,17 @@ func TestTxnAbortedWritesPersistInWAL(t *testing.T) {
 	mustExec(t, s, "INSERT INTO t (id, v) VALUES (1, 'secret-aborted-value')")
 	mustExec(t, s, "ROLLBACK")
 	recs := e.WAL().Redo.Records()[walBefore:]
-	if len(recs) != 2 { // the insert + the compensating delete
-		t.Fatalf("aborted txn left %d WAL records, want 2", len(recs))
+	if len(recs) != 3 { // the insert + the compensating delete + the abort marker
+		t.Fatalf("aborted txn left %d WAL records, want 3", len(recs))
 	}
 	if recs[0].Op != wal.OpInsert || recs[0].Image[1].Str != "secret-aborted-value" {
 		t.Errorf("original change not in WAL: %+v", recs[0])
 	}
 	if recs[1].Op != wal.OpDelete {
 		t.Errorf("compensation not in WAL: %+v", recs[1])
+	}
+	if recs[2].Op != wal.OpAbort {
+		t.Errorf("abort marker not in WAL: %+v", recs[2])
 	}
 }
 

@@ -60,7 +60,16 @@ func E3BinlogCorrelation(quick bool) (*E3Result, error) {
 		if _, err := s.Execute(q); err != nil {
 			return nil, err
 		}
-		trueTime[e.WAL().CurrentLSN()] = now
+		// The statement's row change is the last data record in the log
+		// (an autocommit commit marker follows it, and marker records are
+		// invisible to write reconstruction).
+		recs := e.WAL().Redo.Records()
+		for j := len(recs) - 1; j >= 0; j-- {
+			if !recs[j].Op.IsMarker() {
+				trueTime[recs[j].LSN] = now
+				break
+			}
+		}
 	}
 	// The binlog horizon: purge everything before the halfway point.
 	horizon := int64(1_700_000_000) + int64(writes)/2

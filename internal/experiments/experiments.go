@@ -76,6 +76,7 @@ func All(quick bool) ([]Result, error) {
 		func(q bool) (Result, error) { return E10Diagnostics(q) },
 		func(q bool) (Result, error) { return E11Mitigations(q) },
 		func(q bool) (Result, error) { return E12Scaling(q) },
+		func(q bool) (Result, error) { return E13CrashResidue(q) },
 	}
 	out := make([]Result, 0, len(runs))
 	for _, run := range runs {

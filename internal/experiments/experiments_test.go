@@ -280,7 +280,7 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 12 {
+	if len(results) != 13 {
 		t.Fatalf("got %d experiments", len(results))
 	}
 	seen := map[string]bool{}
@@ -292,5 +292,27 @@ func TestAllQuick(t *testing.T) {
 			t.Errorf("duplicate experiment name %s", r.Name())
 		}
 		seen[r.Name()] = true
+	}
+}
+
+func TestE13CrashResidue(t *testing.T) {
+	res, err := E13CrashResidue(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes < 20 {
+		t.Errorf("only %d crashes exercised", res.Crashes)
+	}
+	if res.RecoveredClean != res.Crashes {
+		t.Errorf("recovered %d of %d crashes", res.RecoveredClean, res.Crashes)
+	}
+	if res.SecretHits == 0 {
+		t.Error("no crash exposed the uncommitted secret")
+	}
+	if res.UncommittedWrites == 0 {
+		t.Error("no uncommitted writes reconstructed")
+	}
+	if !strings.Contains(res.Render(), "E13") {
+		t.Error("render missing experiment id")
 	}
 }

@@ -1,0 +1,216 @@
+// Package failpoint implements seeded, deterministic fault injection
+// for the persistence layer. Test harnesses (and the server, via the
+// SNAPDB_FAILPOINTS environment variable) arm named failpoints with a
+// fault kind and a hit count; the fault-injecting file layer
+// (internal/vfs.FaultFS) evaluates a failpoint before every file
+// operation and applies whatever fault fires.
+//
+// Determinism is the point: the crash-torture harness replays the same
+// workload against the same seed and kill-point and must reach the same
+// byte state every time. All randomness (torn-write lengths, bit-flip
+// positions) comes from the registry's seeded generator.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind is the kind of fault a rule injects.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindErr fails the operation with ErrInjected without performing it.
+	KindErr Kind = iota + 1
+	// KindTorn applies a seeded prefix of a write, then fails it —
+	// the partial flush a power cut leaves behind.
+	KindTorn
+	// KindDropSync makes a sync report success without syncing: the
+	// lying-fsync failure mode. Data is silently lost at the next crash.
+	KindDropSync
+	// KindBitFlip corrupts one seeded bit of a write and reports
+	// success: silent media corruption, caught only by checksums.
+	KindBitFlip
+	// KindCrash kills the process at this operation: the triggering
+	// write (if any) is torn, and every subsequent operation fails
+	// with ErrCrashed.
+	KindCrash
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindErr:
+		return "err"
+	case KindTorn:
+		return "torn"
+	case KindDropSync:
+		return "dropsync"
+	case KindBitFlip:
+		return "bitflip"
+	case KindCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// kindFromName parses a Kind name as used in failpoint specs.
+func kindFromName(s string) (Kind, error) {
+	for k := KindErr; k <= KindCrash; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("failpoint: unknown fault kind %q", s)
+}
+
+// ErrInjected is the error surfaced by operations failed via KindErr or
+// KindTorn.
+var ErrInjected = errors.New("failpoint: injected I/O error")
+
+// ErrCrashed is returned by every operation after a KindCrash fired:
+// the simulated process is dead.
+var ErrCrashed = errors.New("failpoint: crashed")
+
+// Rule arms one failpoint.
+type Rule struct {
+	// Point selects which operations the rule matches: an exact
+	// point name ("write:ib_logfile_redo"), a prefix ending in '*'
+	// ("write:*"), or "*" for every operation.
+	Point string
+	// Kind is the fault to inject.
+	Kind Kind
+	// OnHit fires the rule exactly once, on the OnHit-th matching
+	// operation (1-based). Zero fires on every matching operation.
+	OnHit uint64
+
+	hits  uint64
+	fired bool
+}
+
+func (r *Rule) matches(point string) bool {
+	if r.Point == "*" {
+		return true
+	}
+	if p, ok := strings.CutSuffix(r.Point, "*"); ok {
+		return strings.HasPrefix(point, p)
+	}
+	return r.Point == point
+}
+
+// Registry is a set of armed failpoints plus the seeded randomness the
+// injected faults consume. The zero registry is not usable; call New.
+type Registry struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rules   []*Rule
+	total   uint64
+	crashed bool
+}
+
+// New creates a registry whose fault randomness derives from seed.
+func New(seed int64) *Registry {
+	return &Registry{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Arm adds a rule. Rules are evaluated in arming order; the first
+// match fires.
+func (r *Registry) Arm(point string, kind Kind, onHit uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rules = append(r.rules, &Rule{Point: point, Kind: kind, OnHit: onHit})
+}
+
+// ArmSpec arms rules from a comma-separated spec string, the format of
+// the SNAPDB_FAILPOINTS environment variable:
+//
+//	point=kind[@hit][,point=kind[@hit]...]
+//
+// e.g. "write:ib_logfile_redo=crash@17,sync:*=dropsync@3". Omitting
+// @hit fires on every matching operation.
+func (r *Registry) ArmSpec(spec string) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		point, rest, ok := strings.Cut(part, "=")
+		if !ok || point == "" {
+			return fmt.Errorf("failpoint: bad spec %q (want point=kind[@hit])", part)
+		}
+		kindName, hitStr, hasHit := strings.Cut(rest, "@")
+		kind, err := kindFromName(kindName)
+		if err != nil {
+			return err
+		}
+		var onHit uint64
+		if hasHit {
+			onHit, err = strconv.ParseUint(hitStr, 10, 64)
+			if err != nil || onHit == 0 {
+				return fmt.Errorf("failpoint: bad hit count in %q", part)
+			}
+		}
+		r.Arm(point, kind, onHit)
+	}
+	return nil
+}
+
+// Eval records one operation at the named point and reports the fault
+// to inject, if any. After a KindCrash fires, every call reports
+// KindCrash.
+func (r *Registry) Eval(point string) (Kind, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if r.crashed {
+		return KindCrash, true
+	}
+	for _, rule := range r.rules {
+		if rule.fired || !rule.matches(point) {
+			continue
+		}
+		rule.hits++
+		if rule.OnHit != 0 {
+			if rule.hits != rule.OnHit {
+				continue
+			}
+			rule.fired = true
+		}
+		if rule.Kind == KindCrash {
+			r.crashed = true
+		}
+		return rule.Kind, true
+	}
+	return 0, false
+}
+
+// Crashed reports whether a KindCrash fault has fired.
+func (r *Registry) Crashed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.crashed
+}
+
+// TotalHits returns how many operations have been evaluated — the dry
+// run of the torture harness uses it to enumerate kill-points.
+func (r *Registry) TotalHits() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Intn returns a seeded pseudo-random int in [0, n), for torn-write
+// lengths and bit-flip positions.
+func (r *Registry) Intn(n int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	return r.rng.Intn(n)
+}

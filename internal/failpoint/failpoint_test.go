@@ -1,0 +1,101 @@
+package failpoint
+
+import (
+	"testing"
+)
+
+func TestArmOnHitFiresOnce(t *testing.T) {
+	r := New(1)
+	r.Arm("write:redo", KindErr, 3)
+	for i := 1; i <= 5; i++ {
+		kind, fired := r.Eval("write:redo")
+		if i == 3 {
+			if !fired || kind != KindErr {
+				t.Fatalf("hit %d: kind=%v fired=%v, want err fire", i, kind, fired)
+			}
+		} else if fired {
+			t.Fatalf("hit %d: unexpected fire %v", i, kind)
+		}
+	}
+}
+
+func TestEveryHit(t *testing.T) {
+	r := New(1)
+	r.Arm("sync:*", KindDropSync, 0)
+	for i := 0; i < 3; i++ {
+		if kind, fired := r.Eval("sync:binlog.000001"); !fired || kind != KindDropSync {
+			t.Fatalf("eval %d: kind=%v fired=%v", i, kind, fired)
+		}
+	}
+	if _, fired := r.Eval("write:binlog.000001"); fired {
+		t.Fatal("write matched a sync rule")
+	}
+}
+
+func TestCrashIsSticky(t *testing.T) {
+	r := New(1)
+	r.Arm("*", KindCrash, 2)
+	if _, fired := r.Eval("write:a"); fired {
+		t.Fatal("fired on first hit")
+	}
+	if kind, fired := r.Eval("sync:b"); !fired || kind != KindCrash {
+		t.Fatal("crash did not fire on second hit")
+	}
+	if !r.Crashed() {
+		t.Fatal("Crashed() false after crash")
+	}
+	if kind, fired := r.Eval("anything"); !fired || kind != KindCrash {
+		t.Fatalf("post-crash op not crashed: %v %v", kind, fired)
+	}
+}
+
+func TestWildcardAndPrefix(t *testing.T) {
+	r := New(1)
+	r.Arm("write:ib_*", KindBitFlip, 0)
+	if _, fired := r.Eval("write:binlog.000001"); fired {
+		t.Fatal("prefix rule matched wrong name")
+	}
+	if kind, fired := r.Eval("write:ib_logfile_redo"); !fired || kind != KindBitFlip {
+		t.Fatalf("prefix rule missed: %v %v", kind, fired)
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	r := New(1)
+	if err := r.ArmSpec("write:redo=crash@17, sync:*=dropsync"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.rules) != 2 {
+		t.Fatalf("rules = %d", len(r.rules))
+	}
+	if r.rules[0].Kind != KindCrash || r.rules[0].OnHit != 17 {
+		t.Fatalf("rule 0 = %+v", r.rules[0])
+	}
+	if r.rules[1].Kind != KindDropSync || r.rules[1].OnHit != 0 {
+		t.Fatalf("rule 1 = %+v", r.rules[1])
+	}
+	for _, bad := range []string{"novalue", "p=unknown", "p=crash@0", "p=crash@x"} {
+		if err := New(1).ArmSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestDeterministicRandomness(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 10; i++ {
+		if x, y := a.Intn(1000), b.Intn(1000); x != y {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestTotalHitsCountsEverything(t *testing.T) {
+	r := New(1)
+	r.Eval("a")
+	r.Eval("b")
+	r.Eval("a")
+	if got := r.TotalHits(); got != 3 {
+		t.Fatalf("TotalHits = %d", got)
+	}
+}

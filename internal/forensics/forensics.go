@@ -41,6 +41,7 @@ type Catalog map[uint8]TableSchema
 // ReconstructedWrite is one write statement rebuilt from the WAL.
 type ReconstructedWrite struct {
 	LSN       uint64
+	Txn       uint64 // owning transaction (0 = pre-transaction records)
 	Op        wal.Op
 	Table     string
 	SQL       string
@@ -68,11 +69,17 @@ func ReconstructWrites(redoImg, undoImg []byte, cat Catalog) ([]ReconstructedWri
 	}
 	out := make([]ReconstructedWrite, 0, len(redo))
 	for _, r := range redo {
+		if r.Op.IsMarker() {
+			// Commit/abort markers carry no row data. (They do tell an
+			// analyst which transactions finished — the Txn field on the
+			// reconstructed writes carries that.)
+			continue
+		}
 		schema, ok := cat[r.Table]
 		if !ok {
 			schema = TableSchema{Name: fmt.Sprintf("table_%d", r.Table)}
 		}
-		w := ReconstructedWrite{LSN: r.LSN, Op: r.Op, Table: schema.Name}
+		w := ReconstructedWrite{LSN: r.LSN, Txn: r.Txn, Op: r.Op, Table: schema.Name}
 		switch r.Op {
 		case wal.OpInsert:
 			w.SQL = insertSQL(schema, r.Image)

@@ -1,0 +1,87 @@
+package server_test
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"snapdb/internal/client"
+	"snapdb/internal/engine"
+	"snapdb/internal/server"
+)
+
+// TestDialContextRidesAcrossServerStart reserves a port, starts the
+// server only after a delay, and checks DialContext's backoff loop
+// connects once the listener appears — the crashed-and-recovering
+// server scenario.
+func TestDialContextRidesAcrossServerStart(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := engine.New(engine.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(e)
+	done := make(chan error, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond) // the recovery window
+		ln2, lerr := net.Listen("tcp", addr)
+		if lerr != nil {
+			done <- lerr
+			return
+		}
+		done <- srv.Serve(ln2)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := client.DialContext(ctx, addr)
+	if err != nil {
+		t.Fatalf("DialContext did not ride across the restart: %v", err)
+	}
+	if _, err := c.Execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Error(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Error(err)
+	}
+	if err := <-done; err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDialContextHonorsDeadline(t *testing.T) {
+	// Reserve-and-close a port so nothing is listening there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = client.DialContext(ctx, addr)
+	if err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+	if !strings.Contains(err.Error(), "deadline") && !strings.Contains(err.Error(), "context") {
+		t.Errorf("error does not mention the context: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("gave up after %v, deadline was 200ms", elapsed)
+	}
+}

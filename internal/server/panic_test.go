@@ -1,0 +1,32 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"snapdb/internal/engine"
+)
+
+func TestSafeExecutePassthrough(t *testing.T) {
+	want := &engine.Result{RowsAffected: 3}
+	res, err := safeExecute(func() (*engine.Result, error) { return want, nil })
+	if err != nil || res != want {
+		t.Fatalf("passthrough: res=%v err=%v", res, err)
+	}
+	boom := errors.New("plain error")
+	if _, err := safeExecute(func() (*engine.Result, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("error passthrough: %v", err)
+	}
+}
+
+func TestSafeExecuteRecoversPanic(t *testing.T) {
+	res, err := safeExecute(func() (*engine.Result, error) { panic("index out of range [12]") })
+	if res != nil {
+		t.Error("panicking statement returned a result")
+	}
+	if err == nil || !strings.Contains(err.Error(), "internal error") ||
+		!strings.Contains(err.Error(), "index out of range") {
+		t.Errorf("recovered error = %v", err)
+	}
+}

@@ -164,7 +164,7 @@ func (s *Server) handle(conn net.Conn) {
 		if line == "" {
 			continue
 		}
-		res, err := sess.Execute(line)
+		res, err := safeExecute(func() (*engine.Result, error) { return sess.Execute(line) })
 		if err != nil {
 			fmt.Fprintf(w, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
 		} else {
@@ -174,6 +174,19 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// safeExecute runs one statement, converting a panic anywhere under
+// Execute into a client-visible error: one poisoned statement must
+// cost its own session an error line, never the whole server process.
+func safeExecute(exec func() (*engine.Result, error)) (res *engine.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("internal error: %v", r)
+		}
+	}()
+	return exec()
 }
 
 func writeResult(w *bufio.Writer, res *engine.Result) {

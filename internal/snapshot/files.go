@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"snapdb/internal/engine"
 	"snapdb/internal/forensics"
+	"snapdb/internal/vfs"
 )
 
 // Disk-snapshot file names, mirroring a MySQL data directory: the
@@ -46,11 +48,24 @@ func CatalogOf(e *engine.Engine) forensics.Catalog {
 // disk. Volatile state (diagnostics, memory) is deliberately not
 // written: a disk holds only persistent artifacts.
 func (s *Snapshot) WriteDir(dir string) error {
-	if s.Disk == nil {
-		return fmt.Errorf("snapshot: %v reveals no disk state to write", s.Attack)
-	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
+	}
+	fs, err := vfs.NewOSFS(dir)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return s.WriteDirFS(fs)
+}
+
+// WriteDirFS writes the snapshot's persistent state into fs. Each file
+// lands crash-atomically (temp file, fsync, rename, directory fsync),
+// so a crash mid-write leaves either the old file or the new one —
+// never a torn hybrid. Files are written in sorted-name order for
+// deterministic fault-injection replay.
+func (s *Snapshot) WriteDirFS(fs vfs.FS) error {
+	if s.Disk == nil {
+		return fmt.Errorf("snapshot: %v reveals no disk state to write", s.Attack)
 	}
 	catJSON, err := json.MarshalIndent(s.Disk.Catalog, "", "  ")
 	if err != nil {
@@ -66,8 +81,13 @@ func (s *Snapshot) WriteDir(dir string) error {
 		FileBufferPool: s.Disk.BufferPoolDump,
 		FileCatalog:    catJSON,
 	}
-	for name, data := range files {
-		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := vfs.WriteFileAtomic(fs, name, files[name]); err != nil {
 			return fmt.Errorf("snapshot: writing %s: %w", name, err)
 		}
 	}

@@ -5,6 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"snapdb/internal/failpoint"
+	"snapdb/internal/vfs"
 )
 
 func TestWriteReadDirRoundTrip(t *testing.T) {
@@ -89,5 +92,52 @@ func TestReadDirRejectsCorruptCatalog(t *testing.T) {
 	}
 	if _, err := ReadDir(dir); err == nil {
 		t.Error("corrupt catalog accepted")
+	}
+}
+
+// TestWriteDirFSCrashAtomic crashes the file layer mid-way through a
+// second WriteDirFS and checks every file holds either its old or its
+// new content — never a torn hybrid.
+func TestWriteDirFSCrashAtomic(t *testing.T) {
+	e := loadedEngine(t)
+	snapV1 := Capture(e, DiskTheft)
+	mem := vfs.NewMemFS()
+	if err := snapV1.WriteDirFS(mem); err != nil {
+		t.Fatal(err)
+	}
+
+	s := e.Connect("app")
+	if _, err := s.Execute("INSERT INTO accounts (id, owner, balance) VALUES (3, 'carol', 42)"); err != nil {
+		t.Fatal(err)
+	}
+	snapV2 := Capture(e, DiskTheft)
+	if bytes.Equal(snapV1.Disk.RedoLog, snapV2.Disk.RedoLog) {
+		t.Fatal("second snapshot did not change the redo log")
+	}
+
+	// Crash while the second write is replacing the redo log file.
+	reg := failpoint.New(7)
+	reg.Arm("write:"+FileRedo+".tmp", failpoint.KindCrash, 1)
+	ffs := vfs.NewFaultFS(mem, reg)
+	if err := snapV2.WriteDirFS(ffs); err == nil {
+		t.Fatal("crashed write reported success")
+	}
+	mem.Crash()
+
+	for _, tc := range []struct {
+		name     string
+		old, new []byte
+	}{
+		{FileRedo, snapV1.Disk.RedoLog, snapV2.Disk.RedoLog},
+		{FileBinlog, snapV1.Disk.Binlog, snapV2.Disk.Binlog},
+		{FileTablespace, snapV1.Disk.Tablespace, snapV2.Disk.Tablespace},
+	} {
+		got, err := mem.ReadFile(tc.name)
+		if err != nil {
+			t.Fatalf("reading %s after crash: %v", tc.name, err)
+		}
+		if !bytes.Equal(got, tc.old) && !bytes.Equal(got, tc.new) {
+			t.Errorf("%s is neither the old nor the new version after crash", tc.name)
+		}
 	}
 }

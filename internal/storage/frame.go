@@ -1,0 +1,70 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Frame is the checksummed on-disk envelope for every log-structured
+// file snapdb persists: WAL records, binlog events, the buffer-pool
+// dump, and checkpoint sections. Layout:
+//
+//	u32 payload length | u32 CRC32-C of payload | payload
+//
+// The checksum lets a reader distinguish a torn tail (the file ends
+// mid-frame: the write never completed) from corruption (the frame is
+// whole but its bytes are wrong). Both stop the scan; neither may
+// panic.
+
+// FrameHeaderSize is the per-frame overhead in bytes.
+const FrameHeaderSize = 8
+
+// MaxFramePayload caps a single frame's payload. Anything larger in a
+// length header is treated as corruption, bounding allocation when
+// parsing hostile or damaged files.
+const MaxFramePayload = 1 << 26
+
+// ErrFrameTruncated reports a frame cut short by the end of the buffer:
+// the tail of a file whose last write was torn.
+var ErrFrameTruncated = errors.New("storage: truncated frame")
+
+// ErrFrameCorrupt reports a structurally complete frame whose checksum
+// or length header is invalid.
+var ErrFrameCorrupt = errors.New("storage: corrupt frame")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends payload to dst wrapped in a frame and returns the
+// extended slice.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [FrameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// ReadFrame parses one frame from the front of b, returning the payload
+// and the total bytes consumed (header + payload). A short buffer
+// returns ErrFrameTruncated; a bad length or checksum returns
+// ErrFrameCorrupt. The payload aliases b.
+func ReadFrame(b []byte) (payload []byte, n int, err error) {
+	if len(b) < FrameHeaderSize {
+		return nil, 0, ErrFrameTruncated
+	}
+	plen := binary.BigEndian.Uint32(b[0:4])
+	if plen > MaxFramePayload {
+		return nil, 0, fmt.Errorf("%w: payload length %d exceeds cap", ErrFrameCorrupt, plen)
+	}
+	total := FrameHeaderSize + int(plen)
+	if len(b) < total {
+		return nil, 0, ErrFrameTruncated
+	}
+	payload = b[FrameHeaderSize:total]
+	if crc32.Checksum(payload, castagnoli) != binary.BigEndian.Uint32(b[4:8]) {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrFrameCorrupt)
+	}
+	return payload, total, nil
+}

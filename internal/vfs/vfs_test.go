@@ -1,0 +1,328 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+
+	"snapdb/internal/failpoint"
+)
+
+func TestMemFSUnsyncedWritesLostAtCrash(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("durable"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("-volatile"), 7); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.Crash()
+
+	got, err := fs.ReadFile("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable" {
+		t.Fatalf("post-crash content = %q, want %q", got, "durable")
+	}
+	// The pre-crash handle is orphaned: its writes must not reach the
+	// post-crash namespace.
+	if _, err := f.WriteAt([]byte("ghost"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.ReadFile("log")
+	if string(got) != "durable" {
+		t.Fatalf("orphaned handle write leaked: %q", got)
+	}
+}
+
+func TestMemFSFileWithoutSyncDirVanishes(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("orphan")
+	f.WriteAt([]byte("x"), 0)
+	f.Sync() // content durable, but no directory entry
+	fs.Crash()
+	if _, err := fs.ReadFile("orphan"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphan survived crash: err=%v", err)
+	}
+}
+
+func TestMemFSRenameDurableOnlyAfterSyncDir(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("a")
+	f.WriteAt([]byte("one"), 0)
+	f.Sync()
+	fs.SyncDir()
+
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	// Volatile view sees the rename immediately.
+	if _, err := fs.ReadFile("b"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash() // rename never SyncDir'd: old name comes back
+	if _, err := fs.ReadFile("a"); err != nil {
+		t.Fatalf("pre-rename name lost: %v", err)
+	}
+	if _, err := fs.ReadFile("b"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("unsynced rename survived crash: err=%v", err)
+	}
+
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	fs.SyncDir()
+	fs.Crash()
+	if _, err := fs.ReadFile("b"); err != nil {
+		t.Fatalf("synced rename lost: %v", err)
+	}
+	if _, err := fs.ReadFile("a"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("old name survived synced rename + crash")
+	}
+}
+
+func TestMemFSRenameReplacesTarget(t *testing.T) {
+	fs := NewMemFS()
+	fa, _ := fs.Create("a")
+	fa.WriteAt([]byte("new"), 0)
+	fa.Sync()
+	fb, _ := fs.Create("b")
+	fb.WriteAt([]byte("old"), 0)
+	fb.Sync()
+	fs.SyncDir()
+
+	fs.Rename("a", "b")
+	fs.SyncDir()
+	fs.Crash()
+	got, err := fs.ReadFile("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("b = %q, want %q", got, "new")
+	}
+}
+
+func TestMemFSTruncateSurvivesSync(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("t")
+	f.WriteAt([]byte("0123456789"), 0)
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	f.Sync()
+	fs.SyncDir()
+	fs.Crash()
+	got, _ := fs.ReadFile("t")
+	if string(got) != "0123" {
+		t.Fatalf("truncated content = %q", got)
+	}
+}
+
+func TestMemFSReadAtSemantics(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("r")
+	f.WriteAt([]byte("hello"), 0)
+	buf := make([]byte, 3)
+	if n, err := f.ReadAt(buf, 0); n != 3 || err != nil {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if n, err := f.ReadAt(buf, 4); n != 1 || err != io.EOF {
+		t.Fatalf("short ReadAt = %d, %v; want 1, EOF", n, err)
+	}
+	if _, err := f.ReadAt(buf, 10); err != io.EOF {
+		t.Fatalf("past-end ReadAt err = %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("closed ReadAt err = %v", err)
+	}
+}
+
+func TestWriteFileAtomicOldOrNew(t *testing.T) {
+	fs := NewMemFS()
+	if err := WriteFileAtomic(fs, "cfg", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	got, err := fs.ReadFile("cfg")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("after crash: %q, %v", got, err)
+	}
+
+	// A crash mid-replacement must leave v1 intact: tear the temp-file
+	// write and confirm the original survives.
+	reg := failpoint.New(7)
+	reg.Arm("write:cfg.tmp", failpoint.KindCrash, 1)
+	ffs := NewFaultFS(fs, reg)
+	if err := WriteFileAtomic(ffs, "cfg", []byte("v2-much-longer")); !errors.Is(err, failpoint.ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	fs.Crash()
+	got, err = fs.ReadFile("cfg")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("old content lost in torn replace: %q, %v", got, err)
+	}
+
+	// Clean replacement through the (now-dead) fault layer fails; through
+	// a fresh one it succeeds and survives a crash.
+	if err := WriteFileAtomic(fs, "cfg", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	got, _ = fs.ReadFile("cfg")
+	if string(got) != "v2" {
+		t.Fatalf("new content = %q", got)
+	}
+}
+
+func TestFaultFSErrAndTorn(t *testing.T) {
+	reg := failpoint.New(3)
+	mem := NewMemFS()
+	fs := NewFaultFS(mem, reg)
+	reg.Arm("write:w", failpoint.KindErr, 1)
+	reg.Arm("write:w", failpoint.KindTorn, 1) // second write torn
+
+	f, err := fs.Create("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("dropped"), 0); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("err fault: %v", err)
+	}
+	if sz, _ := f.Size(); sz != 0 {
+		t.Fatalf("KindErr wrote %d bytes", sz)
+	}
+	payload := []byte("0123456789abcdef")
+	n, err := f.WriteAt(payload, 0)
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("torn fault: %v", err)
+	}
+	if n >= len(payload) {
+		t.Fatalf("torn write applied fully: n=%d", n)
+	}
+	sz, _ := f.Size()
+	if int(sz) != n {
+		t.Fatalf("size %d != torn length %d", sz, n)
+	}
+	// Third write clean.
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSDropSyncLosesData(t *testing.T) {
+	reg := failpoint.New(3)
+	mem := NewMemFS()
+	fs := NewFaultFS(mem, reg)
+	reg.Arm("sync:w", failpoint.KindDropSync, 0)
+
+	f, _ := fs.Create("w")
+	f.WriteAt([]byte("data"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("dropped sync must report success, got %v", err)
+	}
+	fs.SyncDir()
+	mem.Crash()
+	got, err := fs.ReadFile("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("dropped sync still persisted %q", got)
+	}
+}
+
+func TestFaultFSBitFlipSilent(t *testing.T) {
+	reg := failpoint.New(3)
+	fs := NewFaultFS(NewMemFS(), reg)
+	reg.Arm("write:w", failpoint.KindBitFlip, 1)
+
+	f, _ := fs.Create("w")
+	payload := []byte("abcdefgh")
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatalf("bit flip must be silent, got %v", err)
+	}
+	got := make([]byte, len(payload))
+	f.ReadAt(got, 0)
+	diff := 0
+	for i := range got {
+		diff += popcount(got[i] ^ payload[i])
+	}
+	if diff != 1 {
+		t.Fatalf("flipped %d bits, want exactly 1 (%q vs %q)", diff, got, payload)
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+func TestFaultFSCrashIsSticky(t *testing.T) {
+	reg := failpoint.New(3)
+	fs := NewFaultFS(NewMemFS(), reg)
+	reg.Arm("sync:w", failpoint.KindCrash, 1)
+
+	f, _ := fs.Create("w")
+	f.WriteAt([]byte("x"), 0)
+	if err := f.Sync(); !errors.Is(err, failpoint.ErrCrashed) {
+		t.Fatalf("sync err = %v", err)
+	}
+	if _, err := f.WriteAt([]byte("y"), 0); !errors.Is(err, failpoint.ErrCrashed) {
+		t.Fatalf("post-crash write err = %v", err)
+	}
+	if _, err := fs.Create("other"); !errors.Is(err, failpoint.ErrCrashed) {
+		t.Fatalf("post-crash create err = %v", err)
+	}
+	if _, err := fs.ReadFile("w"); !errors.Is(err, failpoint.ErrCrashed) {
+		t.Fatalf("post-crash read err = %v", err)
+	}
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	fs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(fs, "f", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("f")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	f, err := fs.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if sz, _ := f.Size(); sz != 5 {
+		t.Fatalf("Size = %d", sz)
+	}
+	if err := f.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.ReadFile("f")
+	if string(got) != "he" {
+		t.Fatalf("truncated = %q", got)
+	}
+}

@@ -1,19 +1,26 @@
 // Package wal implements the engine's transaction logging: a circular
 // redo log and a circular undo log, both recording byte-level changes
 // to individual records, stamped with a global log sequence number
-// (LSN). This mirrors InnoDB's multi-version concurrency control
-// machinery, and — as §3 of the paper demonstrates — it is also a
-// transcript of every recent write that a disk-snapshot attacker can
-// replay with standard forensic techniques.
+// (LSN) and the id of the transaction that made them. This mirrors
+// InnoDB's multi-version concurrency control machinery, and — as §3 of
+// the paper demonstrates — it is also a transcript of every recent
+// write that a disk-snapshot attacker can replay with standard forensic
+// techniques.
 //
 // Both logs are circular: when a log exceeds its capacity, the oldest
 // records fall off. The retention window therefore depends on write
 // volume and record size, which experiment E2 measures (the paper's
 // "50 MB stores 16 days of 20-byte writes at 1 write/s" estimate).
+//
+// On disk (Serialize) every record travels inside a CRC32-C frame
+// (storage.AppendFrame), so a reader can tell a torn tail from silent
+// corruption and stop the scan at the first bad frame instead of
+// misparsing garbage.
 package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -23,11 +30,16 @@ import (
 // Op is the kind of change a log record describes.
 type Op uint8
 
-// Log record operations.
+// Log record operations. OpCommit and OpAbort are transaction markers:
+// redo-only records with an empty image whose Txn field says which
+// transaction finished. Recovery replays only transactions that reached
+// an OpCommit marker.
 const (
 	OpInsert Op = iota + 1
 	OpUpdate
 	OpDelete
+	OpCommit
+	OpAbort
 )
 
 func (o Op) String() string {
@@ -38,10 +50,18 @@ func (o Op) String() string {
 		return "UPDATE"
 	case OpDelete:
 		return "DELETE"
+	case OpCommit:
+		return "COMMIT"
+	case OpAbort:
+		return "ABORT"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
 }
+
+// IsMarker reports whether the op is a transaction marker rather than a
+// data change.
+func (o Op) IsMarker() bool { return o == OpCommit || o == OpAbort }
 
 // WholeRow marks a record image that covers the entire row rather than
 // a single column.
@@ -53,23 +73,26 @@ const WholeRow = 0xFF
 //	insert:  redo Image = full new row;         undo Image = key only
 //	update:  redo Image = {key, new col value}; undo Image = {key, old col value}
 //	delete:  redo Image = key only;             undo Image = full old row
+//	commit/abort: empty Image, Txn identifies the finished transaction
 type Record struct {
 	LSN    uint64
+	Txn    uint64 // owning transaction; 0 = pre-transaction (legacy) records
 	Op     Op
 	Table  uint8
 	Column uint8 // column index for updates, WholeRow otherwise
 	Image  storage.Record
 }
 
-// headerSize is the encoded record header: lsn(8) op(1) table(1)
+// headerSize is the encoded record header: lsn(8) txn(8) op(1) table(1)
 // column(1) payloadLen(2).
-const headerSize = 13
+const headerSize = 21
 
 // Encode serializes the record.
 func (r Record) Encode() []byte {
 	payload := storage.EncodeRecord(r.Image)
 	out := make([]byte, 0, headerSize+len(payload))
 	out = binary.BigEndian.AppendUint64(out, r.LSN)
+	out = binary.BigEndian.AppendUint64(out, r.Txn)
 	out = append(out, byte(r.Op), r.Table, r.Column)
 	out = binary.BigEndian.AppendUint16(out, uint16(len(payload)))
 	out = append(out, payload...)
@@ -77,27 +100,31 @@ func (r Record) Encode() []byte {
 }
 
 // DecodeRecord parses one record from b, returning it and the bytes
-// consumed.
+// consumed. It never panics on malformed input.
 func DecodeRecord(b []byte) (Record, int, error) {
 	if len(b) < headerSize {
 		return Record{}, 0, fmt.Errorf("wal: record header truncated (%d bytes)", len(b))
 	}
 	r := Record{
 		LSN:    binary.BigEndian.Uint64(b),
-		Op:     Op(b[8]),
-		Table:  b[9],
-		Column: b[10],
+		Txn:    binary.BigEndian.Uint64(b[8:]),
+		Op:     Op(b[16]),
+		Table:  b[17],
+		Column: b[18],
 	}
-	if r.Op < OpInsert || r.Op > OpDelete {
-		return Record{}, 0, fmt.Errorf("wal: unknown op %d", b[8])
+	if r.Op < OpInsert || r.Op > OpAbort {
+		return Record{}, 0, fmt.Errorf("wal: unknown op %d", b[16])
 	}
-	plen := int(binary.BigEndian.Uint16(b[11:]))
+	plen := int(binary.BigEndian.Uint16(b[19:]))
 	if len(b) < headerSize+plen {
 		return Record{}, 0, fmt.Errorf("wal: record payload truncated (want %d bytes)", plen)
 	}
-	img, _, err := storage.DecodeRecord(b[headerSize : headerSize+plen])
+	img, n, err := storage.DecodeRecord(b[headerSize : headerSize+plen])
 	if err != nil {
 		return Record{}, 0, fmt.Errorf("wal: payload: %w", err)
+	}
+	if n != plen {
+		return Record{}, 0, fmt.Errorf("wal: payload has %d trailing bytes", plen-n)
 	}
 	r.Image = img
 	return r, headerSize + plen, nil
@@ -159,6 +186,14 @@ func (l *Log) appendLocked(r Record) {
 	}
 }
 
+// Reset discards all retained records (after a checkpoint has made them
+// redundant). The eviction counter is preserved.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.records, l.sizes, l.bytes = nil, nil, 0
+}
+
 // Records returns the retained records, oldest first.
 func (l *Log) Records() []Record {
 	l.mu.Lock()
@@ -202,35 +237,90 @@ func (l *Log) OldestLSN() uint64 {
 }
 
 // Serialize renders the retained log as one byte image — the "file on
-// disk" that a disk snapshot captures.
+// disk" that a disk snapshot captures. Each record is wrapped in a
+// CRC32-C frame.
 func (l *Log) Serialize() []byte {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]byte, 0, l.bytes)
+	out := make([]byte, 0, l.bytes+storage.FrameHeaderSize*len(l.records))
 	for _, r := range l.records {
-		out = append(out, r.Encode()...)
+		out = storage.AppendFrame(out, r.Encode())
 	}
 	return out
 }
 
-// ParseLog parses a Serialize image back into records. It is resilient
-// to a truncated tail (the torn final record of a crashed server): it
-// returns everything parseable.
-func ParseLog(img []byte) ([]Record, error) {
+// ParseReport describes how a log image parse ended.
+type ParseReport struct {
+	// Frames is the number of valid frames parsed.
+	Frames int
+	// TruncatedAt is the byte offset of the first bad frame, or -1 if
+	// the image parsed cleanly to the end. Bytes before TruncatedAt are
+	// the valid prefix a recovery can keep.
+	TruncatedAt int
+	// Reason says why the scan stopped: "torn frame" for a tail cut
+	// short mid-frame, a checksum/length description for corruption, or
+	// "bad record: ..." when the frame was intact but its payload was
+	// not a record.
+	Reason string
+}
+
+// Truncated reports whether the parse stopped before the end of the
+// image.
+func (p ParseReport) Truncated() bool { return p.TruncatedAt >= 0 }
+
+// ParseLogReport parses a Serialize image back into records, stopping
+// at the first torn or corrupt frame. It returns the records of the
+// valid prefix and a report saying where and why the scan stopped. It
+// never panics on malformed input.
+func ParseLogReport(img []byte) ([]Record, ParseReport) {
 	var out []Record
+	rep := ParseReport{TruncatedAt: -1}
 	pos := 0
 	for pos < len(img) {
-		r, n, err := DecodeRecord(img[pos:])
+		payload, n, err := storage.ReadFrame(img[pos:])
 		if err != nil {
-			if len(out) > 0 {
-				return out, nil // torn tail
+			rep.TruncatedAt = pos
+			if errors.Is(err, storage.ErrFrameTruncated) {
+				rep.Reason = "torn frame"
+			} else {
+				rep.Reason = err.Error()
 			}
-			return nil, err
+			return out, rep
+		}
+		r, rn, derr := DecodeRecord(payload)
+		if derr != nil || rn != len(payload) {
+			rep.TruncatedAt = pos
+			if derr == nil {
+				derr = fmt.Errorf("%d trailing bytes in frame", len(payload)-rn)
+			}
+			rep.Reason = "bad record: " + derr.Error()
+			return out, rep
 		}
 		out = append(out, r)
+		rep.Frames++
 		pos += n
 	}
-	return out, nil
+	return out, rep
+}
+
+// ParseLog parses a Serialize image back into records. It is resilient
+// to a truncated tail (the torn final record of a crashed server): it
+// returns everything parseable, and errors only when a non-empty image
+// yields nothing at all.
+func ParseLog(img []byte) ([]Record, error) {
+	recs, rep := ParseLogReport(img)
+	if len(recs) == 0 && rep.Truncated() {
+		return nil, fmt.Errorf("wal: unparseable log image at offset %d: %s", rep.TruncatedAt, rep.Reason)
+	}
+	return recs, nil
+}
+
+// pendEntry is one queued change in the group-commit pipeline.
+type pendEntry struct {
+	redo    Record
+	undo    Record
+	hasUndo bool
+	ticket  uint64
 }
 
 // Manager owns the global LSN counter and the redo and undo logs, and
@@ -244,16 +334,29 @@ func ParseLog(img []byte) ([]Record, error) {
 // and — the property the forensic correlation attacks (E3, E8) depend
 // on — keeps both logs strictly LSN-ordered no matter how statements
 // interleave.
+//
+// If a Sink is attached, the leader hands each batch to it before the
+// batch becomes visible in the in-memory logs; a sink failure is
+// reported to every writer whose change rode in that batch. This is the
+// durability hook: the persistence layer syncs the batch to disk inside
+// the sink, so a statement only returns success once its log records
+// are on stable storage.
 type Manager struct {
-	mu       sync.Mutex // guards lsn and the group-commit queue
+	mu       sync.Mutex // guards lsn, txnSeq and the group-commit queue
 	flushed  *sync.Cond // broadcast after each batch flush
 	lsn      uint64
-	pendRedo []Record
-	pendUndo []Record
-	flushing bool   // a leader is draining the queue
-	enqTotal uint64 // changes ever enqueued (ticket counter)
-	flTotal  uint64 // changes whose batch has been flushed
-	flushes  uint64 // batch flushes performed (group-commit stat)
+	txnSeq   uint64
+	pend     []pendEntry
+	errs     map[uint64]error // per-ticket flush errors, read once by the waiter
+	flushing bool             // a leader is draining the queue
+	enqTotal uint64           // changes ever enqueued (ticket counter)
+	flTotal  uint64           // changes whose batch has been flushed
+	flushes  uint64           // batch flushes performed (group-commit stat)
+
+	// Sink, if set, receives each flushed batch (redo records, and the
+	// undo records for entries that have them) before the batch is
+	// appended to the in-memory logs. Set it before concurrent use.
+	Sink func(redo, undo []Record) error
 
 	Redo *Log
 	Undo *Log
@@ -269,50 +372,110 @@ func NewManager(redoCapacity, undoCapacity int) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Manager{Redo: redo, Undo: undo}
+	m := &Manager{Redo: redo, Undo: undo, errs: make(map[uint64]error)}
 	m.flushed = sync.NewCond(&m.mu)
 	return m, nil
+}
+
+// BeginTxn allocates a transaction id. Every data change and its
+// closing OpCommit/OpAbort marker carry this id so recovery can sort
+// winners from losers.
+func (m *Manager) BeginTxn() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.txnSeq++
+	return m.txnSeq
+}
+
+// TxnSeq returns the last allocated transaction id.
+func (m *Manager) TxnSeq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.txnSeq
+}
+
+// SetRecovered primes the LSN counter and transaction id counter after
+// recovery, so new activity continues past everything already logged.
+func (m *Manager) SetRecovered(lsn, txnSeq uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lsn > m.lsn {
+		m.lsn = lsn
+	}
+	if txnSeq > m.txnSeq {
+		m.txnSeq = txnSeq
+	}
 }
 
 // commit runs one change through the group-commit pipeline: assign the
 // LSN and enqueue under the lock, then either lead a batched flush or
 // wait for the current leader to flush this change. It returns only
-// after the change is visible in both logs.
-func (m *Manager) commit(redo, undo Record, size int) (uint64, Record) {
+// after the change is durable (if a Sink is attached) and visible in
+// the in-memory logs, or after its batch's flush failed.
+func (m *Manager) commit(redo Record, undo *Record, size int) (uint64, Record, error) {
 	m.mu.Lock()
 	m.lsn += uint64(size)
 	lsn := m.lsn
-	redo.LSN, undo.LSN = lsn, lsn
-	m.pendRedo = append(m.pendRedo, redo)
-	m.pendUndo = append(m.pendUndo, undo)
+	redo.LSN = lsn
+	e := pendEntry{redo: redo}
+	if undo != nil {
+		undo.LSN = lsn
+		e.undo, e.hasUndo = *undo, true
+	}
 	m.enqTotal++
-	ticket := m.enqTotal
+	e.ticket = m.enqTotal
+	ticket := e.ticket
+	m.pend = append(m.pend, e)
 	if m.flushing {
 		// Follower: a leader is already flushing; it will pick this
 		// change up in its next batch.
 		for m.flTotal < ticket {
 			m.flushed.Wait()
 		}
+		err := m.errs[ticket]
+		delete(m.errs, ticket)
 		m.mu.Unlock()
-		return lsn, undo
+		return lsn, e.undo, err
 	}
 	// Leader: drain the queue, including anything followers enqueue
 	// while we flush outside the lock.
 	m.flushing = true
-	for len(m.pendRedo) > 0 {
-		redoBatch, undoBatch := m.pendRedo, m.pendUndo
-		m.pendRedo, m.pendUndo = nil, nil
+	sink := m.Sink
+	for len(m.pend) > 0 {
+		batch := m.pend
+		m.pend = nil
 		m.mu.Unlock()
-		m.Redo.AppendBatch(redoBatch)
-		m.Undo.AppendBatch(undoBatch)
+		redoBatch := make([]Record, 0, len(batch))
+		undoBatch := make([]Record, 0, len(batch))
+		for _, be := range batch {
+			redoBatch = append(redoBatch, be.redo)
+			if be.hasUndo {
+				undoBatch = append(undoBatch, be.undo)
+			}
+		}
+		var serr error
+		if sink != nil {
+			serr = sink(redoBatch, undoBatch)
+		}
+		if serr == nil {
+			m.Redo.AppendBatch(redoBatch)
+			m.Undo.AppendBatch(undoBatch)
+		}
 		m.mu.Lock()
-		m.flTotal += uint64(len(redoBatch))
+		m.flTotal += uint64(len(batch))
 		m.flushes++
+		if serr != nil {
+			for _, be := range batch {
+				m.errs[be.ticket] = serr
+			}
+		}
 		m.flushed.Broadcast()
 	}
 	m.flushing = false
+	err := m.errs[ticket]
+	delete(m.errs, ticket)
 	m.mu.Unlock()
-	return lsn, undo
+	return lsn, e.undo, err
 }
 
 // GroupCommitStats reports how many changes have been committed and in
@@ -341,33 +504,68 @@ func (m *Manager) CurrentLSN() uint64 {
 	return m.lsn
 }
 
-// LogInsert records a row insertion in both logs, returning the LSN
-// and the undo record (which transactions buffer for rollback).
-func (m *Manager) LogInsert(table uint8, row storage.Record) (uint64, Record) {
+// TxInsert records a row insertion by txn in both logs, returning the
+// LSN and the undo record (which transactions buffer for rollback).
+func (m *Manager) TxInsert(txn uint64, table uint8, row storage.Record) (uint64, Record, error) {
 	key := storage.Record{row[0]}
 	return m.commit(
-		Record{Op: OpInsert, Table: table, Column: WholeRow, Image: row.Clone()},
-		Record{Op: OpInsert, Table: table, Column: WholeRow, Image: key},
+		Record{Txn: txn, Op: OpInsert, Table: table, Column: WholeRow, Image: row.Clone()},
+		&Record{Txn: txn, Op: OpInsert, Table: table, Column: WholeRow, Image: key},
 		headerSize+len(storage.EncodeRecord(row)))
 }
 
-// LogUpdate records a single-column update: old and new values go to
-// undo and redo respectively.
-func (m *Manager) LogUpdate(table uint8, key storage.Record, column uint8, oldVal, newVal storage.Record) (uint64, Record) {
+// TxUpdate records a single-column update by txn: old and new values go
+// to undo and redo respectively.
+func (m *Manager) TxUpdate(txn uint64, table uint8, key storage.Record, column uint8, oldVal, newVal storage.Record) (uint64, Record, error) {
 	redoImg := append(key.Clone(), newVal...)
 	undoImg := append(key.Clone(), oldVal...)
 	return m.commit(
-		Record{Op: OpUpdate, Table: table, Column: column, Image: redoImg},
-		Record{Op: OpUpdate, Table: table, Column: column, Image: undoImg},
+		Record{Txn: txn, Op: OpUpdate, Table: table, Column: column, Image: redoImg},
+		&Record{Txn: txn, Op: OpUpdate, Table: table, Column: column, Image: undoImg},
 		headerSize+len(storage.EncodeRecord(redoImg)))
 }
 
-// LogDelete records a row deletion; the undo log keeps the full old row
-// so the transaction can be rolled back.
-func (m *Manager) LogDelete(table uint8, oldRow storage.Record) (uint64, Record) {
+// TxDelete records a row deletion by txn; the undo log keeps the full
+// old row so the transaction can be rolled back.
+func (m *Manager) TxDelete(txn uint64, table uint8, oldRow storage.Record) (uint64, Record, error) {
 	key := storage.Record{oldRow[0]}
 	return m.commit(
-		Record{Op: OpDelete, Table: table, Column: WholeRow, Image: key},
-		Record{Op: OpDelete, Table: table, Column: WholeRow, Image: oldRow.Clone()},
+		Record{Txn: txn, Op: OpDelete, Table: table, Column: WholeRow, Image: key},
+		&Record{Txn: txn, Op: OpDelete, Table: table, Column: WholeRow, Image: oldRow.Clone()},
 		headerSize+len(storage.EncodeRecord(oldRow)))
+}
+
+// LogCommit appends txn's commit marker to the redo log. Recovery
+// replays a transaction's changes only if this marker made it to disk —
+// it is the durability point of the transaction.
+func (m *Manager) LogCommit(txn uint64) error {
+	_, _, err := m.commit(
+		Record{Txn: txn, Op: OpCommit, Column: WholeRow},
+		nil, headerSize+len(storage.EncodeRecord(nil)))
+	return err
+}
+
+// LogAbort appends txn's abort marker to the redo log, recording that
+// the transaction's changes were rolled back on purpose.
+func (m *Manager) LogAbort(txn uint64) error {
+	_, _, err := m.commit(
+		Record{Txn: txn, Op: OpAbort, Column: WholeRow},
+		nil, headerSize+len(storage.EncodeRecord(nil)))
+	return err
+}
+
+// LogInsert records a row insertion outside any transaction (txn 0,
+// treated as committed by recovery).
+func (m *Manager) LogInsert(table uint8, row storage.Record) (uint64, Record, error) {
+	return m.TxInsert(0, table, row)
+}
+
+// LogUpdate records a single-column update outside any transaction.
+func (m *Manager) LogUpdate(table uint8, key storage.Record, column uint8, oldVal, newVal storage.Record) (uint64, Record, error) {
+	return m.TxUpdate(0, table, key, column, oldVal, newVal)
+}
+
+// LogDelete records a row deletion outside any transaction.
+func (m *Manager) LogDelete(table uint8, oldRow storage.Record) (uint64, Record, error) {
+	return m.TxDelete(0, table, oldRow)
 }

@@ -48,7 +48,7 @@ func TestDecodeRecordErrors(t *testing.T) {
 		t.Error("truncated payload accepted")
 	}
 	bad := append([]byte(nil), enc...)
-	bad[8] = 0x77 // bogus op
+	bad[16] = 0x77 // bogus op
 	if _, _, err := DecodeRecord(bad); err == nil {
 		t.Error("bad op accepted")
 	}
@@ -143,7 +143,7 @@ func TestManagerLSNMonotonic(t *testing.T) {
 	}
 	var last uint64
 	for i := 0; i < 100; i++ {
-		lsn, _ := m.LogInsert(1, row(int64(i), "abc"))
+		lsn, _, _ := m.LogInsert(1, row(int64(i), "abc"))
 		if lsn <= last {
 			t.Fatalf("LSN not increasing: %d after %d", lsn, last)
 		}

@@ -3,6 +3,15 @@
 # everything. The -race step is load-bearing — the engine executes
 # concurrent sessions over striped table locks and group commit, and
 # the detector is what holds that machinery to its claims.
+#
+# After the functional gates, two robustness passes:
+#   - fuzz smoke: every parser that reads crash-era bytes (WAL records,
+#     binlog events, buffer-pool dumps) gets a short native-fuzz run —
+#     "never panic on garbage" is re-earned on every commit, not
+#     assumed from the seed corpus.
+#   - crash torture seed matrix: the kill-point harness re-runs under
+#     -race with extra seeds, so fault schedules differ from the
+#     default test run's.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,5 +26,19 @@ go test ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== fuzz smoke =="
+# One -fuzz target per invocation (a Go toolchain constraint).
+fuzz() { go test "$1" -run '^$' -fuzz "$2" -fuzztime "${FUZZTIME:-5s}"; }
+fuzz ./internal/wal FuzzDecodeRecord
+fuzz ./internal/wal FuzzParseLog
+fuzz ./internal/binlog FuzzDecodeEvent
+fuzz ./internal/binlog FuzzParse
+fuzz ./internal/bufpool FuzzParseDump
+fuzz ./internal/bufpool FuzzDumpRoundTripBitflip
+
+echo "== crash torture seed matrix (-race) =="
+SNAPDB_TORTURE_SEEDS="${SNAPDB_TORTURE_SEEDS:-1,7,42}" \
+    go test -race ./internal/engine -run 'TestCrashTorture' -count=1 -v | grep -E 'kill-points|--- (PASS|FAIL)'
 
 echo "CI OK"
