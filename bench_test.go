@@ -13,6 +13,7 @@ package snapdb
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -24,6 +25,7 @@ import (
 	"snapdb/internal/edb/seabedx"
 	"snapdb/internal/engine"
 	"snapdb/internal/experiments"
+	"snapdb/internal/server"
 	"snapdb/internal/snapshot"
 	"snapdb/internal/sqlparse"
 	"snapdb/internal/storage"
@@ -408,6 +410,111 @@ func BenchmarkConcurrentThroughput(b *testing.B) {
 				}
 			})
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "stmts/s")
+		})
+	}
+}
+
+// BenchmarkPlanCache measures the statement pipeline with the plan
+// cache on vs off over a repeating statement mix: a hit skips the
+// lexer, parser, digest computation, and name resolution, while still
+// producing every forensic artifact (general log, binlog, perfschema,
+// heap arena) — the leakage-equivalence tests in internal/engine pin
+// that property.
+func BenchmarkPlanCache(b *testing.B) {
+	const distinct = 64
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"on", false},
+		{"off", true},
+	} {
+		b.Run("cache="+mode.name, func(b *testing.B) {
+			cfg := engine.Defaults()
+			cfg.DisablePlanCache = mode.disable
+			e, err := engine.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := e.Connect("bench-plan")
+			if _, err := s.Execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"); err != nil {
+				b.Fatal(err)
+			}
+			queries := make([]string, distinct)
+			for i := range queries {
+				if _, err := s.Execute(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, 'row-%04d')", i, i)); err != nil {
+					b.Fatal(err)
+				}
+				queries[i] = fmt.Sprintf("SELECT v FROM t WHERE id = %d", i)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Execute(queries[i%distinct]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			hits, misses, _ := e.PlanCacheStats()
+			if total := hits + misses; total > 0 {
+				b.ReportMetric(100*float64(hits)/float64(total), "%hit")
+			}
+		})
+	}
+}
+
+// BenchmarkBatchedThroughput measures client-observed statement
+// throughput through the TCP server at 16 concurrent connections:
+// per-statement Execute (one round trip and one server flush per
+// statement) vs ExecuteBatch pipelining 32 statements per write. The
+// gap is pure protocol overhead; the executed statements, replies, and
+// forensic artifacts are identical.
+func BenchmarkBatchedThroughput(b *testing.B) {
+	const tables, rows, conns = 4, 100, 16
+	for _, mode := range []struct {
+		name  string
+		batch int
+	}{
+		{"per-stmt", 1},
+		{"batched", 32},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			e, err := engine.New(engine.Defaults())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := workload.SetupTables(e, tables, rows); err != nil {
+				b.Fatal(err)
+			}
+			srv := server.New(e)
+			ready := make(chan net.Addr, 1)
+			done := make(chan error, 1)
+			go func() { done <- srv.ListenAndServe("127.0.0.1:0", ready) }()
+			addr := (<-ready).String()
+			b.ResetTimer()
+			res, err := workload.RunDriverRemote(workload.RemoteDriverConfig{
+				DriverConfig: workload.DriverConfig{
+					Goroutines:   conns,
+					Tables:       tables,
+					RowsPerTable: rows,
+					Statements:   b.N,
+					WriteEvery:   10,
+					Seed:         42,
+				},
+				Addr:      addr,
+				BatchSize: mode.batch,
+			})
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Statements)/b.Elapsed().Seconds(), "stmts/s")
+			if cerr := srv.Close(); cerr != nil {
+				b.Fatal(cerr)
+			}
+			if serr := <-done; serr != nil {
+				b.Fatal(serr)
+			}
 		})
 	}
 }

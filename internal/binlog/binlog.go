@@ -31,13 +31,21 @@ type Event struct {
 // statementLen(4).
 const eventHeaderSize = 20
 
+// EncodedSize returns the encoded size of the event without encoding it.
+func (ev Event) EncodedSize() int { return eventHeaderSize + len(ev.Statement) }
+
 // Encode serializes one event (the frame payload).
 func (ev Event) Encode() []byte {
-	out := make([]byte, 0, eventHeaderSize+len(ev.Statement))
-	out = binary.BigEndian.AppendUint64(out, uint64(ev.Timestamp))
-	out = binary.BigEndian.AppendUint64(out, ev.LSN)
-	out = binary.BigEndian.AppendUint32(out, uint32(len(ev.Statement)))
-	return append(out, ev.Statement...)
+	return ev.AppendEncode(make([]byte, 0, ev.EncodedSize()))
+}
+
+// AppendEncode appends the event's encoding to dst and returns the
+// extended slice, so batch serializers can reuse one buffer.
+func (ev Event) AppendEncode(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(ev.Timestamp))
+	dst = binary.BigEndian.AppendUint64(dst, ev.LSN)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(ev.Statement)))
+	return append(dst, ev.Statement...)
 }
 
 // DecodeEvent parses one encoded event, returning it and the bytes
@@ -254,9 +262,15 @@ func (l *Log) Purge(before int64) int {
 func (l *Log) Serialize() []byte {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	var out []byte
+	size := 0
 	for _, ev := range l.events {
-		out = storage.AppendFrame(out, ev.Encode())
+		size += storage.FrameHeaderSize + ev.EncodedSize()
+	}
+	out := make([]byte, 0, size)
+	var scratch []byte
+	for _, ev := range l.events {
+		scratch = ev.AppendEncode(scratch[:0])
+		out = storage.AppendFrame(out, scratch)
 	}
 	return out
 }

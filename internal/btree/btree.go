@@ -66,8 +66,92 @@ func decodeEntries(p *storage.Page) ([]entry, error) {
 		}
 		out = append(out, entry{key: rec[0], rec: rec, slot: i})
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].key.Compare(out[j].key) < 0 })
+	if !entriesSorted(out) {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].key.Compare(out[j].key) < 0 })
+	}
 	return out, nil
+}
+
+// entriesSorted reports whether entries are already in key order. Slots
+// are appended in insert order, which for monotonic keys (and for any
+// page rebuilt by a split) is already sorted — checking first keeps the
+// steady state free of sort.SliceStable's reflective swapper
+// allocation.
+func entriesSorted(es []entry) bool {
+	for i := 1; i < len(es); i++ {
+		if es[i].key.Compare(es[i-1].key) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// keyRef is a key-only view of a live slot: enough to sort, filter,
+// and decide which slots deserve a full DecodeRecord.
+type keyRef struct {
+	key  sqlparse.Value
+	slot int
+}
+
+// decodeKeys collects the keys of p's live slots into dst (reused
+// across leaves by scans), sorted by key. Unlike decodeEntries it does
+// not materialize records, so slots a range filter will discard cost
+// nothing beyond the key decode.
+func decodeKeys(p *storage.Page, dst []keyRef) ([]keyRef, error) {
+	dst = dst[:0]
+	for i := 0; i < p.SlotCount(); i++ {
+		b := p.SlotBytes(i)
+		if b == nil {
+			continue
+		}
+		k, err := storage.DecodeKey(b)
+		if err != nil {
+			return nil, fmt.Errorf("btree: page %d slot %d: %w", p.ID(), i, err)
+		}
+		dst = append(dst, keyRef{key: k, slot: i})
+	}
+	sorted := true
+	for i := 1; i < len(dst); i++ {
+		if dst[i].key.Compare(dst[i-1].key) < 0 {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		sort.SliceStable(dst, func(i, j int) bool { return dst[i].key.Compare(dst[j].key) < 0 })
+	}
+	return dst, nil
+}
+
+// findSlot locates the live slot holding key in leaf p, decoding keys
+// only.
+func findSlot(p *storage.Page, key sqlparse.Value) (int, bool, error) {
+	for i := 0; i < p.SlotCount(); i++ {
+		b := p.SlotBytes(i)
+		if b == nil {
+			continue
+		}
+		k, err := storage.DecodeKey(b)
+		if err != nil {
+			return 0, false, fmt.Errorf("btree: page %d slot %d: %w", p.ID(), i, err)
+		}
+		if k.Equal(key) {
+			return i, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// decodeSlot fully decodes the record in slot i of p.
+func decodeSlot(p *storage.Page, i int) (storage.Record, error) {
+	rec, _, err := storage.DecodeRecord(p.SlotBytes(i))
+	if err != nil {
+		return nil, fmt.Errorf("btree: page %d slot %d: %w", p.ID(), i, err)
+	}
+	if len(rec) == 0 {
+		return nil, fmt.Errorf("btree: page %d slot %d: empty record", p.ID(), i)
+	}
+	return rec, nil
 }
 
 // childFor returns the child page that covers key: the last entry whose
@@ -203,14 +287,12 @@ func (t *Tree) insertInto(id storage.PageID, rec storage.Record) (*splitResult, 
 }
 
 func (t *Tree) insertLeaf(p *storage.Page, rec storage.Record) (*splitResult, error) {
-	entries, err := decodeEntries(p)
+	_, dup, err := findSlot(p, rec[0])
 	if err != nil {
 		return nil, err
 	}
-	for _, e := range entries {
-		if e.key.Equal(rec[0]) {
-			return nil, fmt.Errorf("%w: %s", ErrDuplicateKey, rec[0])
-		}
+	if dup {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateKey, rec[0])
 	}
 	return t.insertNodeEntry(p, rec)
 }
@@ -269,22 +351,22 @@ func (t *Tree) split(p *storage.Page, rec storage.Record) (*splitResult, error) 
 	return &splitResult{key: all[mid][0], page: sibling.ID()}, nil
 }
 
-// Search returns the record with the given key.
+// Search returns the record with the given key. Only the matching
+// slot is fully decoded; every other slot costs a key decode.
 func (t *Tree) Search(key sqlparse.Value) (storage.Record, bool, error) {
 	leaf, _, err := t.findLeaf(key)
 	if err != nil {
 		return nil, false, err
 	}
-	entries, err := decodeEntries(leaf)
+	slot, found, err := findSlot(leaf, key)
+	if err != nil || !found {
+		return nil, false, err
+	}
+	rec, err := decodeSlot(leaf, slot)
 	if err != nil {
 		return nil, false, err
 	}
-	for _, e := range entries {
-		if e.key.Equal(key) {
-			return e.rec.Clone(), true, nil
-		}
-	}
-	return nil, false, nil
+	return rec, true, nil
 }
 
 // Delete removes the record with the given key, reporting whether it
@@ -294,16 +376,11 @@ func (t *Tree) Delete(key sqlparse.Value) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	entries, err := decodeEntries(leaf)
-	if err != nil {
+	slot, found, err := findSlot(leaf, key)
+	if err != nil || !found {
 		return false, err
 	}
-	for _, e := range entries {
-		if e.key.Equal(key) {
-			return true, leaf.DeleteSlot(e.slot)
-		}
-	}
-	return false, nil
+	return true, leaf.DeleteSlot(slot)
 }
 
 // Update replaces the record stored under key (rec[0] must equal key).
@@ -315,27 +392,21 @@ func (t *Tree) Update(key sqlparse.Value, rec storage.Record) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	entries, err := decodeEntries(leaf)
-	if err != nil {
+	slot, found, err := findSlot(leaf, key)
+	if err != nil || !found {
 		return false, err
 	}
-	for _, e := range entries {
-		if !e.key.Equal(key) {
-			continue
-		}
-		enc := storage.EncodeRecord(rec)
-		if err := leaf.UpdateSlot(e.slot, enc); err == storage.ErrPageFull {
-			// Delete + re-insert through the normal split path.
-			if err := leaf.DeleteSlot(e.slot); err != nil {
-				return false, err
-			}
-			return true, t.Insert(rec)
-		} else if err != nil {
+	enc := storage.EncodeRecord(rec)
+	if err := leaf.UpdateSlot(slot, enc); err == storage.ErrPageFull {
+		// Delete + re-insert through the normal split path.
+		if err := leaf.DeleteSlot(slot); err != nil {
 			return false, err
 		}
-		return true, nil
+		return true, t.Insert(rec)
+	} else if err != nil {
+		return false, err
 	}
-	return false, nil
+	return true, nil
 }
 
 // Scan calls fn for every record in key order. fn returns false to stop.
@@ -347,22 +418,98 @@ func (t *Tree) Scan(fn func(storage.Record) bool) error {
 	return t.scanLeaves(leaf, fn)
 }
 
-// Range calls fn for records with lo <= key <= hi in key order.
+// Range calls fn for records with lo <= key <= hi in key order. Only
+// records inside the bounds are fully decoded: every slot's key is
+// checked first, so a point lookup in a many-record leaf materializes
+// one record, not the whole page. The leaves visited — the buffer-pool
+// traffic a snapshot attacker reads back out — are exactly the ones
+// the full-decode path touched.
 func (t *Tree) Range(lo, hi sqlparse.Value, fn func(storage.Record) bool) error {
 	leaf, _, err := t.findLeaf(lo)
 	if err != nil {
 		return err
 	}
-	stop := func(r storage.Record) bool { return r[0].Compare(hi) > 0 }
-	return t.scanLeaves(leaf, func(r storage.Record) bool {
-		if r[0].Compare(lo) < 0 {
-			return true
+	if lo.Equal(hi) {
+		return t.point(leaf, lo, fn)
+	}
+	var keys []keyRef
+	for {
+		keys, err = decodeKeys(leaf, keys)
+		if err != nil {
+			return err
 		}
-		if stop(r) {
-			return false
+		for _, k := range keys {
+			if k.key.Compare(lo) < 0 {
+				continue
+			}
+			if k.key.Compare(hi) > 0 {
+				return nil
+			}
+			rec, err := decodeSlot(leaf, k.slot)
+			if err != nil {
+				return err
+			}
+			if !fn(rec) {
+				return nil
+			}
 		}
-		return fn(r)
-	})
+		next := leaf.Next()
+		if next == storage.InvalidPage {
+			return nil
+		}
+		leaf, err = t.pool.Fetch(next)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// point is Range for lo == hi: keys are unique, so at most one slot
+// matches and no sort is needed to deliver it "in order". The walk
+// fetches exactly the leaves the general path would — it only stops at
+// a leaf boundary once the current leaf holds a key beyond the target,
+// the same condition that ends a sorted scan.
+func (t *Tree) point(leaf *storage.Page, key sqlparse.Value, fn func(storage.Record) bool) error {
+	for {
+		matched := -1
+		beyond := false
+		for i := 0; i < leaf.SlotCount(); i++ {
+			b := leaf.SlotBytes(i)
+			if b == nil {
+				continue
+			}
+			k, err := storage.DecodeKey(b)
+			if err != nil {
+				return fmt.Errorf("btree: page %d slot %d: %w", leaf.ID(), i, err)
+			}
+			if k.Equal(key) {
+				matched = i
+			} else if k.Compare(key) > 0 {
+				beyond = true
+			}
+		}
+		if matched >= 0 {
+			rec, err := decodeSlot(leaf, matched)
+			if err != nil {
+				return err
+			}
+			if !fn(rec) {
+				return nil
+			}
+		}
+		if beyond {
+			return nil
+		}
+		next := leaf.Next()
+		if next == storage.InvalidPage {
+			return nil
+		}
+		var err error
+		leaf, err = t.pool.Fetch(next)
+		if err != nil {
+			return err
+		}
+	}
 }
 
 func (t *Tree) leftmostLeaf() (*storage.Page, error) {
@@ -392,8 +539,10 @@ func (t *Tree) scanLeaves(leaf *storage.Page, fn func(storage.Record) bool) erro
 		if err != nil {
 			return err
 		}
+		// No Clone: DecodeRecord returned fresh memory and the entries
+		// slice is not retained past this loop.
 		for _, e := range entries {
-			if !fn(e.rec.Clone()) {
+			if !fn(e.rec) {
 				return nil
 			}
 		}

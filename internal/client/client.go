@@ -4,9 +4,13 @@ package client
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
+	"strconv"
 	"strings"
 	"time"
 
@@ -22,10 +26,62 @@ type Result struct {
 	FromCache    bool
 }
 
-// Conn is one client connection (one server-side session).
+// ServerError is a statement-level error reported by the server (an
+// ERR reply). The connection remains usable after one; transport
+// failures are returned as ordinary errors instead.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "client: server: " + e.Msg }
+
+// BatchResult is one statement's outcome within ExecuteBatch: exactly
+// one of Result and Err is set.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// Conn is one client connection (one server-side session). A Conn is
+// not safe for concurrent use; sendBuf is the reused statement-framing
+// scratch behind that contract.
 type Conn struct {
-	c net.Conn
-	r *bufio.Reader
+	c       net.Conn
+	r       *bufio.Reader
+	sendBuf []byte
+	lineBuf []byte
+
+	// Column-header interning: the raw COLS payload of the previous
+	// reply and the []string it parsed to (see readResult).
+	lastColsRaw []byte
+	lastCols    []string
+}
+
+// parseOKHeader parses the three space-separated counters of an OK
+// reply without the fmt scanner or any intermediate strings.
+func parseOKHeader(b []byte) (nrows, affected, fromCache int, ok bool) {
+	var vals [3]int
+	i := 0
+	for f := 0; f < 3; f++ {
+		if f > 0 {
+			if i >= len(b) || b[i] != ' ' {
+				return 0, 0, 0, false
+			}
+			i++
+		}
+		n, digits := 0, 0
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			n = n*10 + int(b[i]-'0')
+			i++
+			digits++
+		}
+		if digits == 0 {
+			return 0, 0, 0, false
+		}
+		vals[f] = n
+	}
+	if i != len(b) {
+		return 0, 0, 0, false
+	}
+	return vals[0], vals[1], vals[2], true
 }
 
 // Dial connects to a snapdb server.
@@ -88,20 +144,86 @@ func (c *Conn) Execute(stmt string) (*Result, error) {
 	if strings.ContainsAny(stmt, "\r\n") {
 		return nil, fmt.Errorf("client: statement contains a newline")
 	}
-	if _, err := fmt.Fprintf(c.c, "%s\n", stmt); err != nil {
+	c.sendBuf = append(append(c.sendBuf[:0], stmt...), '\n')
+	if _, err := c.c.Write(c.sendBuf); err != nil {
 		return nil, fmt.Errorf("client: send: %w", err)
 	}
+	return c.readResult()
+}
+
+// ExecuteBatch pipelines stmts over the connection: every statement is
+// sent in one write, then the replies are read back in order. This
+// collapses N network round trips into one, which is where the
+// per-statement latency of a remote snapdb server actually goes.
+//
+// Statement errors are isolated exactly as in sequential Execute
+// calls: a failed statement yields a BatchResult with Err set (a
+// *ServerError) and the remaining statements still run. The returned
+// error is transport-level only; when it is non-nil the slice holds
+// the replies received before the failure.
+//
+// Statements must be non-empty and newline-free: the server skips
+// blank lines without replying, so an empty statement would desync
+// the reply stream.
+func (c *Conn) ExecuteBatch(stmts []string) ([]BatchResult, error) {
+	if len(stmts) == 0 {
+		return nil, nil
+	}
+	total := 0
+	for i, stmt := range stmts {
+		if strings.ContainsAny(stmt, "\r\n") {
+			return nil, fmt.Errorf("client: statement %d contains a newline", i)
+		}
+		if strings.TrimSpace(stmt) == "" {
+			return nil, fmt.Errorf("client: statement %d is empty", i)
+		}
+		total += len(stmt) + 1
+	}
+	var batch strings.Builder
+	batch.Grow(total)
+	for _, stmt := range stmts {
+		batch.WriteString(stmt)
+		batch.WriteByte('\n')
+	}
+	if _, err := io.WriteString(c.c, batch.String()); err != nil {
+		return nil, fmt.Errorf("client: send batch: %w", err)
+	}
+	out := make([]BatchResult, 0, len(stmts))
+	for range stmts {
+		res, err := c.readResult()
+		var se *ServerError
+		if err != nil && !errors.As(err, &se) {
+			return out, err
+		}
+		out = append(out, BatchResult{Result: res, Err: err})
+	}
+	return out, nil
+}
+
+// readResult parses one statement reply. An ERR reply comes back as a
+// *ServerError; any other error means the connection is broken.
+//
+// Parsing works on the reader's byte slices directly: the only strings
+// materialized are the ones the caller keeps (column names, values,
+// error text). The reply path runs once per statement on every remote
+// workload, so reply framing must not allocate.
+func (c *Conn) readResult() (*Result, error) {
 	line, err := c.readLine()
 	if err != nil {
 		return nil, err
 	}
 	switch {
-	case strings.HasPrefix(line, "ERR "):
-		return nil, fmt.Errorf("client: server: %s", line[4:])
-	case strings.HasPrefix(line, "OK "):
-		var nrows, affected, fromCache int
-		if _, err := fmt.Sscanf(line, "OK %d %d %d", &nrows, &affected, &fromCache); err != nil {
-			return nil, fmt.Errorf("client: malformed OK line %q: %w", line, err)
+	case bytes.HasPrefix(line, []byte("ERR ")):
+		raw := string(line[4:])
+		msg, uerr := server.Unescape(raw)
+		if uerr != nil {
+			msg = raw
+		}
+		return nil, &ServerError{Msg: msg}
+	case bytes.HasPrefix(line, []byte("OK ")):
+		nrows, affected, fromCache, ok := parseOKHeader(line[3:])
+		if !ok {
+			return nil, fmt.Errorf("client: malformed OK line %q", line)
 		}
 		res := &Result{RowsAffected: affected, FromCache: fromCache == 1}
 		if nrows == 0 {
@@ -111,23 +233,43 @@ func (c *Conn) Execute(stmt string) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !strings.HasPrefix(cols, "COLS ") {
+		if !bytes.HasPrefix(cols, []byte("COLS ")) {
 			return nil, fmt.Errorf("client: expected COLS line, got %q", cols)
 		}
-		res.Columns = strings.Split(cols[5:], "\t")
+		// Workloads repeat the same projections, so the previous
+		// reply's column slice usually matches byte for byte — reuse it
+		// instead of re-splitting. Results share the slice; they never
+		// mutate it.
+		if bytes.Equal(cols[5:], c.lastColsRaw) && c.lastCols != nil {
+			res.Columns = c.lastCols
+		} else {
+			res.Columns = strings.Split(string(cols[5:]), "\t")
+			c.lastColsRaw = append(c.lastColsRaw[:0], cols[5:]...)
+			c.lastCols = res.Columns
+		}
+		res.Rows = make([][]sqlparse.Value, 0, nrows)
 		for i := 0; i < nrows; i++ {
 			rowLine, err := c.readLine()
 			if err != nil {
 				return nil, err
 			}
-			parts := strings.Split(rowLine, "\t")
-			row := make([]sqlparse.Value, len(parts))
-			for j, p := range parts {
-				v, err := server.DecodeValue(p)
+			row := make([]sqlparse.Value, 0, len(res.Columns))
+			rest := rowLine
+			for {
+				var field []byte
+				if j := bytes.IndexByte(rest, '\t'); j >= 0 {
+					field, rest = rest[:j], rest[j+1:]
+				} else {
+					field, rest = rest, nil
+				}
+				v, err := decodeValue(field)
 				if err != nil {
 					return nil, fmt.Errorf("client: row %d: %w", i, err)
 				}
-				row[j] = v
+				row = append(row, v)
+				if rest == nil {
+					break
+				}
 			}
 			res.Rows = append(res.Rows, row)
 		}
@@ -137,10 +279,48 @@ func (c *Conn) Execute(stmt string) (*Result, error) {
 	}
 }
 
-func (c *Conn) readLine() (string, error) {
-	line, err := c.r.ReadString('\n')
-	if err != nil {
-		return "", fmt.Errorf("client: read: %w", err)
+// decodeValue parses one wire-format value (the byte-slice counterpart
+// of server.DecodeValue).
+func decodeValue(b []byte) (sqlparse.Value, error) {
+	if len(b) >= 2 && b[0] == 'i' && b[1] == ':' {
+		n, err := strconv.ParseInt(string(b[2:]), 10, 64)
+		if err != nil {
+			return sqlparse.Value{}, fmt.Errorf("client: bad int %q: %w", b, err)
+		}
+		return sqlparse.IntValue(n), nil
 	}
-	return strings.TrimRight(line, "\r\n"), nil
+	if len(b) >= 2 && b[0] == 's' && b[1] == ':' {
+		str, err := server.Unescape(string(b[2:]))
+		if err != nil {
+			return sqlparse.Value{}, err
+		}
+		return sqlparse.StrValue(str), nil
+	}
+	return sqlparse.Value{}, fmt.Errorf("client: bad value tag in %q", b)
+}
+
+// readLine returns the next reply line without its terminator. The
+// returned slice aliases the reader's buffer (or c.lineBuf for lines
+// longer than it) and is valid only until the next readLine call.
+func (c *Conn) readLine() ([]byte, error) {
+	c.lineBuf = c.lineBuf[:0]
+	for {
+		frag, err := c.r.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			c.lineBuf = append(c.lineBuf, frag...)
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("client: read: %w", err)
+		}
+		line := frag
+		if len(c.lineBuf) > 0 {
+			c.lineBuf = append(c.lineBuf, frag...)
+			line = c.lineBuf
+		}
+		for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+			line = line[:len(line)-1]
+		}
+		return line, nil
+	}
 }

@@ -55,6 +55,8 @@ type Config struct {
 	EnableGeneralLog  bool          // default false: too verbose for production
 	EnableQueryCache  bool          // default true
 	QueryCacheEntries int           // default querycache.DefaultCapacity
+	DisablePlanCache  bool          // default false: plans are cached
+	PlanCacheEntries  int           // default DefaultPlanCacheEntries
 	HistoryPerThread  int           // default perfschema.DefaultHistoryPerThread
 	SlowThreshold     time.Duration // default dblog.DefaultSlowThreshold
 	DisableSlowLog    bool          // default false: slow log is common in production
@@ -94,6 +96,7 @@ func Defaults() Config {
 		EnableBinlog:      true,
 		EnableQueryCache:  true,
 		QueryCacheEntries: querycache.DefaultCapacity,
+		PlanCacheEntries:  DefaultPlanCacheEntries,
 		HistoryPerThread:  perfschema.DefaultHistoryPerThread,
 		SlowThreshold:     dblog.DefaultSlowThreshold,
 	}
@@ -113,6 +116,9 @@ func (c Config) normalized() Config {
 	if c.QueryCacheEntries <= 0 {
 		c.QueryCacheEntries = d.QueryCacheEntries
 	}
+	if c.PlanCacheEntries <= 0 {
+		c.PlanCacheEntries = d.PlanCacheEntries
+	}
 	if c.HistoryPerThread <= 0 {
 		c.HistoryPerThread = d.HistoryPerThread
 	}
@@ -130,7 +136,19 @@ type Table struct {
 	PKIndex int
 	Tree    *btree.Tree
 	Indexes []*SecondaryIndex // sorted by name
+
+	// rows is an advisory row-count hint maintained on the DML paths;
+	// scans use it to pre-size result slices. Recovery and replay seed
+	// it after rebuilding the tree. It is never used for correctness.
+	rows atomic.Int64
 }
+
+// RowHint returns the advisory row count.
+func (t *Table) RowHint() int64 { return t.rows.Load() }
+
+// AddRowHint adjusts the advisory row count (replay/recovery use it
+// after repopulating the tree outside the DML paths).
+func (t *Table) AddRowHint(n int64) { t.rows.Add(n) }
 
 // ColumnIndex returns the index of the named column, or -1.
 func (t *Table) ColumnIndex(name string) int {
@@ -160,6 +178,11 @@ type Engine struct {
 	// trees stay free of internal locking because a table's tree is
 	// only ever mutated under its exclusive stripe.
 	locks lockManager
+
+	// plans is the statement plan cache (see plancache.go); nil when
+	// disabled. It sits in front of the parser only: every statement,
+	// hit or miss, produces the same forensic artifacts.
+	plans *planCache
 
 	mu          sync.Mutex
 	ts          *storage.Tablespace
@@ -222,6 +245,9 @@ func New(cfg Config) (*Engine, error) {
 		arena:      heap.NewArena(),
 		tables:     make(map[string]*Table),
 		tablesByID: make(map[uint8]*Table),
+	}
+	if !cfg.DisablePlanCache {
+		e.plans = newPlanCache(cfg.PlanCacheEntries)
 	}
 	// Binlog events are stamped with the engine LSN at commit time, the
 	// ordering the forensic LSN↔timestamp correlation consumes.
@@ -306,6 +332,21 @@ func (s *Session) Execute(query string) (*Result, error) {
 	start := e.ExecClock()
 	ts := e.Clock()
 
+	// Statement pipeline front half: a plan-cache hit skips the lexer
+	// and parser and reuses the digest computed when the statement text
+	// was first seen. Parsing has no forensic side effects, so doing it
+	// here (or not doing it, on a hit) leaves every artifact below
+	// byte-identical; a parse error is carried into execute and
+	// surfaces at the same point it always did.
+	pl, parseErr := e.planFor(query)
+	var digestText, digestHash string
+	if pl != nil {
+		digestText, digestHash = pl.digest, pl.dhash
+	} else {
+		digestText = sqlparse.Digest(query)
+		digestHash = sqlparse.HashDigestText(digestText)
+	}
+
 	// Query text passes through several heap buffers, as in a real
 	// DBMS: the connection receive buffer, the parser's working copy,
 	// the digest/canonicalization buffer (freed after execution), and
@@ -313,7 +354,7 @@ func (s *Session) Execute(query string) (*Result, error) {
 	// statements later). None is securely deleted.
 	connBuf := e.arena.AllocString(query)
 	parseBuf := e.arena.AllocString(query)
-	digestBuf := e.arena.AllocString(sqlparse.Digest(query))
+	digestBuf := e.arena.AllocString(digestText)
 	if !e.cfg.DisablePerfSchema {
 		s.histPtrs = append(s.histPtrs, e.arena.AllocString(query))
 		if len(s.histPtrs) > e.cfg.HistoryPerThread {
@@ -324,10 +365,10 @@ func (s *Session) Execute(query string) (*Result, error) {
 
 	e.procs.SetQuery(s.ID, query, ts)
 	if !e.cfg.DisablePerfSchema {
-		e.perf.BeginStatement(s.ID, query, ts)
+		e.perf.BeginStatementWithDigest(s.ID, query, digestHash, digestText, ts)
 	}
 
-	res, err := e.execute(s, query, ts)
+	res, err := e.execute(s, query, pl, parseErr, ts)
 
 	dur := e.ExecClock().Sub(start)
 	examined, returned := 0, 0
@@ -383,14 +424,16 @@ func (e *Engine) simulateIO() {
 	}
 }
 
-// execute parses the statement (outside any lock — parsing is pure),
-// takes the locks its statement class needs, and dispatches.
-func (e *Engine) execute(s *Session, query string, ts int64) (*Result, error) {
-	stmt, err := sqlparse.Parse(query)
-	if err != nil {
-		return nil, err
+// execute takes the locks the statement class needs and dispatches. The
+// plan (parsed AST plus bindings) comes from the statement pipeline's
+// front half; a parse failure is surfaced here, after the pre-statement
+// artifacts have been recorded, exactly where the inline Parse used to
+// fail.
+func (e *Engine) execute(s *Session, query string, pl *plan, parseErr error, ts int64) (*Result, error) {
+	if parseErr != nil {
+		return nil, parseErr
 	}
-	switch st := stmt.(type) {
+	switch st := pl.stmt.(type) {
 	case *sqlparse.CreateTable:
 		e.locks.lockAll()
 		defer e.locks.unlockAll()
@@ -405,25 +448,25 @@ func (e *Engine) execute(s *Session, query string, ts int64) (*Result, error) {
 		mu := e.locks.exclusive(st.Table)
 		defer mu.Unlock()
 		e.simulateIO()
-		return e.execInsert(s, st, query, ts)
+		return e.execInsert(s, st, pl, query, ts)
 	case *sqlparse.Select:
 		if isSystemTable(st.Table) {
-			return e.execSelect(s, st, query)
+			return e.execSelect(s, st, pl, query)
 		}
 		mu := e.locks.shared(st.Table)
 		defer mu.RUnlock()
 		e.simulateIO()
-		return e.execSelect(s, st, query)
+		return e.execSelect(s, st, pl, query)
 	case *sqlparse.Update:
 		mu := e.locks.exclusive(st.Table)
 		defer mu.Unlock()
 		e.simulateIO()
-		return e.execUpdate(s, st, query, ts)
+		return e.execUpdate(s, st, pl, query, ts)
 	case *sqlparse.Delete:
 		mu := e.locks.exclusive(st.Table)
 		defer mu.Unlock()
 		e.simulateIO()
-		return e.execDelete(s, st, query, ts)
+		return e.execDelete(s, st, pl, query, ts)
 	case *sqlparse.TxnControl:
 		if st.Op == sqlparse.TxnRollback {
 			// Rollback replays undo records that may span tables.
@@ -432,7 +475,7 @@ func (e *Engine) execute(s *Session, query string, ts int64) (*Result, error) {
 		}
 		return e.execTxnControl(s, st, ts)
 	default:
-		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+		return nil, fmt.Errorf("engine: unsupported statement %T", pl.stmt)
 	}
 }
 
@@ -477,6 +520,11 @@ func (e *Engine) execCreate(st *sqlparse.CreateTable, query string, ts int64) (*
 	}
 	e.tables[st.Table] = t
 	e.tablesByID[t.ID] = t
+	// DDL invalidates every cached plan: statements parsed against the
+	// old catalog may now resolve differently.
+	if e.plans != nil {
+		e.plans.bumpEpoch()
+	}
 	if e.cfg.EnableBinlog {
 		if err := e.binlog.Commit(binlog.Event{Timestamp: ts, Statement: query}); err != nil {
 			return nil, fmt.Errorf("engine: binlog: %w", err)
@@ -527,8 +575,8 @@ func (e *Engine) Tables() []*Table {
 	return out
 }
 
-func (e *Engine) execInsert(s *Session, st *sqlparse.Insert, query string, ts int64) (*Result, error) {
-	t, err := e.lookupTable(st.Table)
+func (e *Engine) execInsert(s *Session, st *sqlparse.Insert, pl *plan, query string, ts int64) (*Result, error) {
+	t, err := e.planTable(pl, st.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -563,6 +611,7 @@ func (e *Engine) execInsert(s *Session, st *sqlparse.Insert, query string, ts in
 			return nil, fmt.Errorf("engine: wal commit: %w", err)
 		}
 	}
+	t.rows.Add(int64(len(rows)))
 	return &Result{RowsAffected: len(rows)}, nil
 }
 
@@ -601,18 +650,22 @@ func checkType(col sqlparse.ColumnDef, v sqlparse.Value) error {
 	return nil
 }
 
-func (e *Engine) execSelect(s *Session, st *sqlparse.Select, query string) (*Result, error) {
+func (e *Engine) execSelect(s *Session, st *sqlparse.Select, pl *plan, query string) (*Result, error) {
 	if res, ok := e.systemSelect(st); ok {
 		return res, nil
 	}
-	t, err := e.lookupTable(st.Table)
+	t, err := e.planTable(pl, st.Table)
 	if err != nil {
 		return nil, err
 	}
 	if cached, ok := e.qcache.Get(query); ok {
 		return &Result{Columns: selectColumns(t, st), Rows: cached, FromCache: true}, nil
 	}
-	rows, examined, path, err := e.scanWhere(t, st.Where)
+	var whereIdx []int
+	if pl != nil && pl.bind.table == t {
+		whereIdx = pl.bind.whereIdx
+	}
+	rows, examined, path, err := e.scanWhere(t, st.Where, whereIdx)
 	if err != nil {
 		return nil, err
 	}
@@ -629,10 +682,13 @@ func (e *Engine) execSelect(s *Session, st *sqlparse.Select, query string) (*Res
 		return res, nil
 	}
 
-	// Projection.
-	proj, err := projection(t, st.Exprs)
-	if err != nil {
-		return nil, err
+	// Projection (reusing the plan's resolved column indices when the
+	// cache bound them).
+	proj := pl.projFor(t)
+	if proj == nil {
+		if proj, err = projection(t, st.Exprs); err != nil {
+			return nil, err
+		}
 	}
 	out := make([]storage.Record, 0, len(rows))
 	for _, r := range rows {
@@ -678,17 +734,21 @@ func (e *Engine) execSelect(s *Session, st *sqlparse.Select, query string) (*Res
 // scanWhere evaluates a conjunctive WHERE over the table, using the
 // primary-key B+ tree for point and range predicates on the key and a
 // secondary index otherwise when one covers a bounded predicate. It
-// also reports the access path taken.
-func (e *Engine) scanWhere(t *Table, where sqlparse.Where) ([]storage.Record, int, string, error) {
-	// Resolve predicate columns up front so unknown columns fail even
-	// on empty tables.
-	colIdx := make([]int, len(where))
-	for i, p := range where {
-		idx := t.ColumnIndex(p.Column)
-		if idx < 0 {
-			return nil, 0, "", fmt.Errorf("engine: unknown column %q in WHERE", p.Column)
+// also reports the access path taken. colIdx, when non-nil, is the
+// plan-cache-resolved predicate column index slice (one per predicate);
+// nil resolves here.
+func (e *Engine) scanWhere(t *Table, where sqlparse.Where, colIdx []int) ([]storage.Record, int, string, error) {
+	if colIdx == nil {
+		// Resolve predicate columns up front so unknown columns fail
+		// even on empty tables.
+		colIdx = make([]int, len(where))
+		for i, p := range where {
+			idx := t.ColumnIndex(p.Column)
+			if idx < 0 {
+				return nil, 0, "", fmt.Errorf("engine: unknown column %q in WHERE", p.Column)
+			}
+			colIdx[i] = idx
 		}
-		colIdx[i] = idx
 	}
 	match := func(r storage.Record) (bool, error) {
 		for i, p := range where {
@@ -705,7 +765,19 @@ func (e *Engine) scanWhere(t *Table, where sqlparse.Where) ([]storage.Record, in
 	// access path is query-dependent — which is what makes the
 	// buffer-pool dump revealing.
 	lo, hi, havePK := pkBounds(t, where)
+	// Pre-size the match slice from the table's row-count hint: a PK
+	// point lookup matches at most one row; an unbounded scan can match
+	// everything. The hint is advisory, so the capacity is a guess —
+	// never a limit.
 	var rows []storage.Record
+	switch {
+	case havePK && lo.Equal(hi):
+		rows = make([]storage.Record, 0, 1)
+	case len(where) == 0:
+		if n := t.rows.Load(); n > 0 && n <= 1<<16 {
+			rows = make([]storage.Record, 0, n)
+		}
+	}
 	examined := 0
 	var scanErr error
 	visit := func(r storage.Record) bool {
@@ -781,7 +853,7 @@ func pkBounds(t *Table, where sqlparse.Where) (lo, hi sqlparse.Value, ok bool) {
 }
 
 func selectColumns(t *Table, st *sqlparse.Select) []string {
-	var out []string
+	out := make([]string, 0, len(st.Exprs))
 	for _, ex := range st.Exprs {
 		switch {
 		case ex.Agg != sqlparse.AggNone:
@@ -800,7 +872,7 @@ func selectColumns(t *Table, st *sqlparse.Select) []string {
 // projection maps select expressions to schema column indices,
 // expanding *.
 func projection(t *Table, exprs []sqlparse.SelectExpr) ([]int, error) {
-	var out []int
+	out := make([]int, 0, len(exprs))
 	for _, ex := range exprs {
 		if ex.Agg != sqlparse.AggNone {
 			return nil, fmt.Errorf("engine: cannot mix aggregates and columns")
@@ -842,12 +914,12 @@ func aggregate(t *Table, ex sqlparse.SelectExpr, rows []storage.Record) (sqlpars
 	}
 }
 
-func (e *Engine) execUpdate(s *Session, st *sqlparse.Update, query string, ts int64) (*Result, error) {
-	t, err := e.lookupTable(st.Table)
+func (e *Engine) execUpdate(s *Session, st *sqlparse.Update, pl *plan, query string, ts int64) (*Result, error) {
+	t, err := e.planTable(pl, st.Table)
 	if err != nil {
 		return nil, err
 	}
-	rows, examined, _, err := e.scanWhere(t, st.Where)
+	rows, examined, _, err := e.scanWhere(t, st.Where, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -905,16 +977,17 @@ func (e *Engine) execUpdate(s *Session, st *sqlparse.Update, query string, ts in
 	return &Result{RowsAffected: len(rows), RowsExamined: examined}, nil
 }
 
-func (e *Engine) execDelete(s *Session, st *sqlparse.Delete, query string, ts int64) (*Result, error) {
-	t, err := e.lookupTable(st.Table)
+func (e *Engine) execDelete(s *Session, st *sqlparse.Delete, pl *plan, query string, ts int64) (*Result, error) {
+	t, err := e.planTable(pl, st.Table)
 	if err != nil {
 		return nil, err
 	}
-	rows, examined, _, err := e.scanWhere(t, st.Where)
+	rows, examined, _, err := e.scanWhere(t, st.Where, nil)
 	if err != nil {
 		return nil, err
 	}
 	txn, auto := s.stmtTxn(e)
+	t.rows.Add(-int64(len(rows)))
 	for _, old := range rows {
 		if _, err := t.Tree.Delete(old[t.PKIndex]); err != nil {
 			return nil, err

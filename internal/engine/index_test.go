@@ -2,9 +2,13 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
+
+	"snapdb/internal/sqlparse"
 )
 
 func setupIndexed(t *testing.T, n int) (*Engine, *Session) {
@@ -225,5 +229,39 @@ func TestIndexedAccessShowsInBufferPool(t *testing.T) {
 	h2, m2, _ := e.BufferPool().Stats()
 	if h2+m2 == h1+m1 {
 		t.Error("index scan produced no buffer pool traffic")
+	}
+}
+
+// TestEncodeOrderedMatchesSprintf pins the hand-rolled int encoding in
+// encodeOrdered to the fmt.Sprintf("i%016x", ...) form it replaced:
+// byte-identical output, and bytewise order equal to value order.
+func TestEncodeOrderedMatchesSprintf(t *testing.T) {
+	vals := []int64{
+		math.MinInt64, math.MinInt64 + 1, -1 << 62, -65536, -256, -2, -1,
+		0, 1, 2, 255, 65535, 1 << 62, math.MaxInt64 - 1, math.MaxInt64,
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, int64(rng.Uint64()))
+	}
+	for _, v := range vals {
+		got := encodeOrdered(sqlparse.IntValue(v))
+		want := fmt.Sprintf("i%016x", uint64(v)+(1<<63))
+		if got != want {
+			t.Fatalf("encodeOrdered(%d) = %q, want %q", v, got, want)
+		}
+	}
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 1; i < len(sorted); i++ {
+		a := encodeOrdered(sqlparse.IntValue(sorted[i-1]))
+		b := encodeOrdered(sqlparse.IntValue(sorted[i]))
+		if a > b {
+			t.Fatalf("order violated: enc(%d)=%q > enc(%d)=%q",
+				sorted[i-1], a, sorted[i], b)
+		}
+	}
+	if got := encodeOrdered(sqlparse.StrValue("abc")); got != "sabc" {
+		t.Fatalf("string encoding = %q, want %q", got, "sabc")
 	}
 }

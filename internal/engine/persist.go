@@ -89,18 +89,37 @@ func newPersistor(fs vfs.FS, redoOff, undoOff, blogOff int64) (*persistor, error
 	return p, nil
 }
 
+// batchBufPool holds the scratch buffers the persistor encodes each
+// group-commit batch into. Batches are written and synced before the
+// sink returns, so the buffers never outlive one append and can be
+// recycled — without this, every fsync'd batch allocated fresh encode
+// buffers on the hot path.
+var batchBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+func getBatchBuf() *[]byte  { return batchBufPool.Get().(*[]byte) }
+func putBatchBuf(b *[]byte) { *b = (*b)[:0]; batchBufPool.Put(b) }
+
 // appendWAL is the wal.Manager sink: persist one group-commit batch to
 // the redo and undo files.
 func (p *persistor) appendWAL(redo, undo []wal.Record) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var redoBuf, undoBuf []byte
+	redoBufP, undoBufP, scratchP := getBatchBuf(), getBatchBuf(), getBatchBuf()
+	defer putBatchBuf(redoBufP)
+	defer putBatchBuf(undoBufP)
+	defer putBatchBuf(scratchP)
+	redoBuf, undoBuf, scratch := *redoBufP, *undoBufP, *scratchP
 	for _, r := range redo {
-		redoBuf = storage.AppendFrame(redoBuf, r.Encode())
+		scratch = r.AppendEncode(scratch[:0])
+		redoBuf = storage.AppendFrame(redoBuf, scratch)
 	}
 	for _, r := range undo {
-		undoBuf = storage.AppendFrame(undoBuf, r.Encode())
+		scratch = r.AppendEncode(scratch[:0])
+		undoBuf = storage.AppendFrame(undoBuf, scratch)
 	}
+	*redoBufP, *undoBufP, *scratchP = redoBuf, undoBuf, scratch
 	if _, err := p.redo.WriteAt(redoBuf, p.redoOff); err != nil {
 		return fmt.Errorf("engine: redo append: %w", err)
 	}
@@ -127,10 +146,15 @@ func (p *persistor) appendWAL(redo, undo []wal.Record) error {
 func (p *persistor) appendBinlog(evs []binlog.Event) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var buf []byte
+	bufP, scratchP := getBatchBuf(), getBatchBuf()
+	defer putBatchBuf(bufP)
+	defer putBatchBuf(scratchP)
+	buf, scratch := *bufP, *scratchP
 	for _, ev := range evs {
-		buf = storage.AppendFrame(buf, ev.Encode())
+		scratch = ev.AppendEncode(scratch[:0])
+		buf = storage.AppendFrame(buf, scratch)
 	}
+	*bufP, *scratchP = buf, scratch
 	if _, err := p.blog.WriteAt(buf, p.blogOff); err != nil {
 		return fmt.Errorf("engine: binlog append: %w", err)
 	}

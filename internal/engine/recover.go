@@ -271,6 +271,9 @@ func (e *Engine) loadCheckpoint(meta ckptMeta, tsImage []byte) error {
 		if t.Name == "" || e.tables[t.Name] != nil {
 			return fmt.Errorf("engine: checkpoint catalog has duplicate or empty table %q", t.Name)
 		}
+		if n, err := t.Tree.Len(); err == nil {
+			t.rows.Store(int64(n))
+		}
 		e.tables[t.Name] = t
 		e.tablesByID[t.ID] = t
 	}
@@ -306,6 +309,7 @@ func (e *Engine) applyRedo(r wal.Record) (undo wal.Record, applied bool, err err
 		if err := indexInsertRow(t, r.Image); err != nil {
 			return wal.Record{}, false, err
 		}
+		t.rows.Add(1)
 		undo = wal.Record{Txn: r.Txn, Op: wal.OpInsert, Table: r.Table, Column: wal.WholeRow,
 			Image: storage.Record{key}}
 		return undo, true, nil
@@ -355,6 +359,7 @@ func (e *Engine) applyRedo(r wal.Record) (undo wal.Record, applied bool, err err
 		if err := indexDeleteRow(t, row); err != nil {
 			return wal.Record{}, false, err
 		}
+		t.rows.Add(-1)
 		undo = wal.Record{Txn: r.Txn, Op: wal.OpDelete, Table: r.Table, Column: wal.WholeRow,
 			Image: row.Clone()}
 		return undo, true, nil

@@ -155,6 +155,7 @@ func (e *Engine) applyUndo(txn uint64, undo []wal.Record) error {
 				if err := indexDeleteRow(t, row); err != nil {
 					return err
 				}
+				t.rows.Add(-1)
 				if _, _, err := e.wal.TxDelete(txn, t.ID, storage.Record{key}); err != nil {
 					return fmt.Errorf("logging compensation: %w", err)
 				}
@@ -196,6 +197,7 @@ func (e *Engine) applyUndo(txn uint64, undo []wal.Record) error {
 			if err := indexInsertRow(t, rec.Image); err != nil {
 				return err
 			}
+			t.rows.Add(1)
 			if _, _, err := e.wal.TxInsert(txn, t.ID, rec.Image); err != nil {
 				return fmt.Errorf("logging compensation: %w", err)
 			}

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"net"
 	"time"
 
 	"snapdb/internal/engine"
+	"snapdb/internal/server"
 	"snapdb/internal/workload"
 )
 
@@ -17,6 +19,15 @@ type E12Row struct {
 	Writes     int
 }
 
+// E12ClientRow is one client-protocol configuration: the same workload
+// driven through the TCP server, per-statement vs pipelined batches.
+type E12ClientRow struct {
+	Mode      string // "per-stmt" or "batched"
+	BatchSize int    // statements per pipelined batch (1 = per-statement)
+	PerSecond float64
+	Speedup   float64 // vs the per-stmt client row
+}
+
 // E12Result measures how statement throughput scales with concurrent
 // sessions under the striped lock manager and group commit. Unlike
 // E1–E11 this is a systems experiment, not a leakage experiment: it
@@ -25,6 +36,8 @@ type E12Row struct {
 // covered by E3 and the engine's concurrency tests.
 type E12Result struct {
 	Rows       []E12Row
+	Client     []E12ClientRow // TCP-client rows at the top concurrency level
+	ClientGs   int            // client connections used for the Client rows
 	IOWait     time.Duration
 	Tables     int
 	Statements int
@@ -45,10 +58,25 @@ func (r *E12Result) Render() string {
 			fmt.Sprintf("%d", row.Writes),
 		)
 	}
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"E12: statement throughput vs session concurrency\n"+
 			"(read-heavy mix over %d tables, %d statements/level, %v simulated I/O per statement)\n%s",
 		r.Tables, r.Statements, r.IOWait, t)
+	if len(r.Client) > 0 {
+		ct := &table{header: []string{"client mode", "batch", "stmts/sec", "speedup"}}
+		for _, row := range r.Client {
+			ct.add(
+				row.Mode,
+				fmt.Sprintf("%d", row.BatchSize),
+				fmt.Sprintf("%.0f", row.PerSecond),
+				fmt.Sprintf("%.2fx", row.Speedup),
+			)
+		}
+		out += fmt.Sprintf(
+			"\nsame statement mix through the TCP server (%d client connections,\nno simulated I/O: protocol overhead only):\n%s",
+			r.ClientGs, ct)
+	}
+	return out
 }
 
 // E12Scaling runs the concurrent workload driver at increasing session
@@ -97,6 +125,62 @@ func E12Scaling(quick bool) (*E12Result, error) {
 			Speedup:    res.PerSecond / base,
 			WALFlushes: flushes,
 			Writes:     res.Writes,
+		})
+	}
+
+	// Same workload once more, through the TCP server: per-statement
+	// Execute pays one network round trip per statement, ExecuteBatch
+	// pipelines them. The gap is the protocol overhead the batched mode
+	// removes — so these rows run WITHOUT the simulated device wait,
+	// which is a floor both modes share and would drown exactly the
+	// per-statement cost being compared. More statements per connection
+	// than the scaling rows, so each connection issues many full
+	// batches.
+	out.ClientGs = 16
+	clientStatements := cfg.Statements * 8
+	var clientBase float64
+	for _, mode := range []struct {
+		name  string
+		batch int
+	}{
+		{"per-stmt", 1},
+		{"batched", 32},
+	} {
+		ecfg := engine.Defaults()
+		e, err := engine.New(ecfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := workload.SetupTables(e, cfg.Tables, cfg.RowsPerTable); err != nil {
+			return nil, err
+		}
+		srv := server.New(e)
+		ready := make(chan net.Addr, 1)
+		done := make(chan error, 1)
+		go func() { done <- srv.ListenAndServe("127.0.0.1:0", ready) }()
+		addr := (<-ready).String()
+		run := workload.RemoteDriverConfig{DriverConfig: cfg, Addr: addr, BatchSize: mode.batch}
+		run.Goroutines = out.ClientGs
+		run.Statements = clientStatements
+		res, err := workload.RunDriverRemote(run)
+		cerr := srv.Close()
+		if err != nil {
+			return nil, err
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+		if serr := <-done; serr != nil {
+			return nil, serr
+		}
+		if clientBase == 0 {
+			clientBase = res.PerSecond
+		}
+		out.Client = append(out.Client, E12ClientRow{
+			Mode:      mode.name,
+			BatchSize: mode.batch,
+			PerSecond: res.PerSecond,
+			Speedup:   res.PerSecond / clientBase,
 		})
 	}
 	return out, nil

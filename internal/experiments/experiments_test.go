@@ -267,8 +267,22 @@ func TestE12Scaling(t *testing.T) {
 	if got := res.Rows[1].Speedup; got < 2 {
 		t.Errorf("speedup at 4 goroutines = %.2fx, want >= 2x", got)
 	}
+	if len(res.Client) != 2 {
+		t.Fatalf("client rows = %d, want 2", len(res.Client))
+	}
+	for _, row := range res.Client {
+		if row.PerSecond <= 0 {
+			t.Errorf("client mode %s: throughput %v", row.Mode, row.PerSecond)
+		}
+	}
+	if res.Client[1].BatchSize <= 1 {
+		t.Errorf("second client row should be batched, got batch size %d", res.Client[1].BatchSize)
+	}
 	if !strings.Contains(res.Render(), "goroutines") {
 		t.Error("render missing table header")
+	}
+	if !strings.Contains(res.Render(), "client mode") {
+		t.Error("render missing client table")
 	}
 }
 

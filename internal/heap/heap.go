@@ -60,6 +60,10 @@ type Arena struct {
 // NewArena creates an empty arena.
 func NewArena() *Arena { return &Arena{bins: make(map[int][]int)} }
 
+// zeroPad supplies the class-rounding tail bytes; padding is always
+// under one granule, so a static array avoids a make per allocation.
+var zeroPad [16]byte
+
 // Alloc stores data in the heap and returns its pointer. A block is
 // reused only from the request's own size class (newest-first); a
 // reused block is only overwritten up to len(data), so tail bytes keep
@@ -83,13 +87,37 @@ func (a *Arena) Alloc(data []byte) Ptr {
 	}
 	off := len(a.slab)
 	a.slab = append(a.slab, data...)
-	a.slab = append(a.slab, make([]byte, cls-len(data))...)
+	a.slab = append(a.slab, zeroPad[:cls-len(data)]...)
 	a.blocks = append(a.blocks, block{off: off, size: cls, used: len(data)})
 	return Ptr(len(a.blocks) - 1)
 }
 
-// AllocString stores a string.
-func (a *Arena) AllocString(s string) Ptr { return a.Alloc([]byte(s)) }
+// AllocString stores a string. It mirrors Alloc's discipline exactly
+// (same slab bytes, same block bookkeeping) but copies straight from
+// the string, avoiding the []byte(s) temporary — AllocString runs
+// several times per statement, so that conversion was one of the
+// larger per-statement allocation costs.
+func (a *Arena) AllocString(s string) Ptr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.allocs++
+	cls := classSize(len(s))
+	if bin := a.bins[cls]; len(bin) > 0 {
+		bi := bin[len(bin)-1]
+		a.bins[cls] = bin[:len(bin)-1]
+		b := &a.blocks[bi]
+		copy(a.slab[b.off:], s)
+		b.free = false
+		b.used = len(s)
+		a.reuses++
+		return Ptr(bi)
+	}
+	off := len(a.slab)
+	a.slab = append(a.slab, s...)
+	a.slab = append(a.slab, zeroPad[:cls-len(s)]...)
+	a.blocks = append(a.blocks, block{off: off, size: cls, used: len(s)})
+	return Ptr(len(a.blocks) - 1)
+}
 
 // Free marks the block reusable. The bytes remain in the slab unless
 // SecureDelete is set.

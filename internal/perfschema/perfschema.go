@@ -70,13 +70,22 @@ func New(historySize int) *Schema {
 
 // BeginStatement records that thread is now executing stmt.
 func (s *Schema) BeginStatement(thread int, stmt string, ts int64) {
-	digest := sqlparse.DigestHash(stmt)
+	text := sqlparse.Digest(stmt)
+	s.BeginStatementWithDigest(thread, stmt, sqlparse.HashDigestText(text), text, ts)
+}
+
+// BeginStatementWithDigest is BeginStatement with the digest hash and
+// canonical text precomputed — the engine's plan cache supplies them so
+// a cache hit does not re-tokenize the statement. The recorded rows are
+// byte-identical to BeginStatement's: digest must equal
+// HashDigestText(digestText) and digestText must equal Digest(stmt).
+func (s *Schema) BeginStatementWithDigest(thread int, stmt, digest, digestText string, ts int64) {
 	ev := &StatementEvent{
 		Thread:     thread,
 		Timestamp:  ts,
 		Statement:  stmt,
 		Digest:     digest,
-		DigestText: sqlparse.Digest(stmt),
+		DigestText: digestText,
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

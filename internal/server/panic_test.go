@@ -1,7 +1,6 @@
 package server
 
 import (
-	"errors"
 	"strings"
 	"testing"
 
@@ -9,24 +8,31 @@ import (
 )
 
 func TestSafeExecutePassthrough(t *testing.T) {
-	want := &engine.Result{RowsAffected: 3}
-	res, err := safeExecute(func() (*engine.Result, error) { return want, nil })
-	if err != nil || res != want {
+	e, err := engine.New(engine.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := e.Connect("panic-test")
+	defer sess.Close()
+
+	res, err := safeExecute(sess, "CREATE TABLE pt (id INT PRIMARY KEY, v TEXT)")
+	if err != nil || res == nil {
 		t.Fatalf("passthrough: res=%v err=%v", res, err)
 	}
-	boom := errors.New("plain error")
-	if _, err := safeExecute(func() (*engine.Result, error) { return nil, boom }); !errors.Is(err, boom) {
-		t.Fatalf("error passthrough: %v", err)
+	if _, err := safeExecute(sess, "NOT REAL SQL"); err == nil ||
+		strings.Contains(err.Error(), "internal error") {
+		t.Fatalf("plain error should pass through unrecovered, got %v", err)
 	}
 }
 
 func TestSafeExecuteRecoversPanic(t *testing.T) {
-	res, err := safeExecute(func() (*engine.Result, error) { panic("index out of range [12]") })
+	// A nil session panics inside Execute with a nil dereference; the
+	// handler must get an error line back, not die.
+	res, err := safeExecute(nil, "SELECT 1")
 	if res != nil {
 		t.Error("panicking statement returned a result")
 	}
-	if err == nil || !strings.Contains(err.Error(), "internal error") ||
-		!strings.Contains(err.Error(), "index out of range") {
+	if err == nil || !strings.Contains(err.Error(), "internal error") {
 		t.Errorf("recovered error = %v", err)
 	}
 }

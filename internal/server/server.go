@@ -7,13 +7,20 @@
 // Protocol (all lines \n-terminated):
 //
 //	client → server:  one SQL statement per line
-//	server → client:  ERR <message>
+//	server → client:  ERR <escaped message>
 //	               |  OK <nrows> <affected> <fromcache>
 //	                  [COLS <name>\t<name>...]      when nrows > 0
 //	                  <value>\t<value>...           × nrows
 //
 // Values are typed: "i:<decimal>" for INT, "s:<escaped>" for TEXT,
-// with \\, \t, \n escaped inside strings.
+// with \\, \t, \n, \r escaped inside strings. ERR payloads use the
+// same escaping, so multi-line engine errors survive the wire intact.
+//
+// The protocol is pipelined: a client may write any number of
+// statement lines before reading replies, and replies come back in
+// order, one per statement. The server only flushes its write buffer
+// when its read buffer is drained, so a batch of N statements is
+// answered with close to one TCP flush instead of N.
 package server
 
 import (
@@ -21,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -146,72 +154,135 @@ func (s *Server) handle(conn net.Conn) {
 	defer sess.Close()
 
 	idle := s.idleTimeout()
-	r := bufio.NewScanner(conn)
-	r.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	r := bufio.NewReaderSize(conn, 64<<10)
 	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	var lineBuf []byte
 	for {
-		// Arm the read deadline before each statement: a connection
-		// that stays silent past the idle timeout fails its next Read,
-		// Scan returns false, and the deferred cleanup releases the
-		// session — a clean idle close, never a leaked handler.
-		if idle > 0 {
+		// Arm the read deadline before waiting on the network: a
+		// connection that stays silent past the idle timeout fails its
+		// next Read and the deferred cleanup releases the session — a
+		// clean idle close, never a leaked handler. Statements already
+		// sitting in the read buffer don't touch the network, so a
+		// pipelined batch arms it once, not once per statement.
+		if idle > 0 && r.Buffered() == 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(idle))
 		}
-		if !r.Scan() {
+		raw, rerr := readLine(r, &lineBuf)
+		line := strings.TrimRight(string(raw), "\r")
+		if line != "" {
+			res, err := safeExecute(sess, line)
+			if err != nil {
+				fmt.Fprintf(w, "ERR %s\n", escape(err.Error()))
+			} else {
+				writeResult(w, res)
+			}
+		}
+		if rerr != nil {
 			return
 		}
-		line := strings.TrimRight(r.Text(), "\r")
-		if line == "" {
+		// Pipelining: hold replies in the write buffer while more
+		// statements are already waiting in the read buffer, and flush
+		// once the client has nothing else in flight. A batch client
+		// writes all N statements before reading any reply, so this
+		// never deadlocks — and it turns N per-statement flushes into
+		// one. Interactive clients see no change: their read buffer is
+		// empty after each statement.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// maxLineLen bounds one statement line, matching the former
+// bufio.Scanner limit.
+const maxLineLen = 1 << 20
+
+// readLine reads one \n-terminated line into *buf (reused across
+// calls), returning the line without its terminator. On EOF after a
+// final unterminated line it returns that line together with the
+// error, mirroring bufio.Scanner's handling of missing final newlines;
+// the caller processes the line and then closes.
+func readLine(r *bufio.Reader, buf *[]byte) ([]byte, error) {
+	*buf = (*buf)[:0]
+	for {
+		frag, err := r.ReadSlice('\n')
+		*buf = append(*buf, frag...)
+		if len(*buf) > maxLineLen {
+			return nil, errors.New("server: statement line too long")
+		}
+		if err == bufio.ErrBufferFull {
 			continue
 		}
-		res, err := safeExecute(func() (*engine.Result, error) { return sess.Execute(line) })
-		if err != nil {
-			fmt.Fprintf(w, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
-		} else {
-			writeResult(w, res)
+		line := *buf
+		if n := len(line); n > 0 && line[n-1] == '\n' {
+			line = line[:n-1]
 		}
-		if err := w.Flush(); err != nil {
-			return
-		}
+		return line, err
 	}
 }
 
 // safeExecute runs one statement, converting a panic anywhere under
 // Execute into a client-visible error: one poisoned statement must
 // cost its own session an error line, never the whole server process.
-func safeExecute(exec func() (*engine.Result, error)) (res *engine.Result, err error) {
+func safeExecute(sess *engine.Session, line string) (res *engine.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
 			err = fmt.Errorf("internal error: %v", r)
 		}
 	}()
-	return exec()
+	return sess.Execute(line)
+}
+
+// writeInt writes n in decimal without the fmt machinery — the reply
+// header costs three of these per statement. Appending into the
+// writer's own buffer keeps the digits off the heap.
+func writeInt(w *bufio.Writer, n int64) {
+	w.Write(strconv.AppendInt(w.AvailableBuffer(), n, 10))
 }
 
 func writeResult(w *bufio.Writer, res *engine.Result) {
-	fromCache := 0
+	fromCache := int64(0)
 	if res.FromCache {
 		fromCache = 1
 	}
-	fmt.Fprintf(w, "OK %d %d %d\n", len(res.Rows), res.RowsAffected, fromCache)
+	w.WriteString("OK ")
+	writeInt(w, int64(len(res.Rows)))
+	w.WriteByte(' ')
+	writeInt(w, int64(res.RowsAffected))
+	w.WriteByte(' ')
+	writeInt(w, fromCache)
+	w.WriteByte('\n')
 	if len(res.Rows) == 0 {
 		return
 	}
-	fmt.Fprintf(w, "COLS %s\n", strings.Join(res.Columns, "\t"))
+	w.WriteString("COLS ")
+	w.WriteString(strings.Join(res.Columns, "\t"))
+	w.WriteByte('\n')
 	for _, row := range res.Rows {
-		parts := make([]string, len(row))
 		for i, v := range row {
-			parts[i] = EncodeValue(v)
+			if i > 0 {
+				w.WriteByte('\t')
+			}
+			if v.IsInt {
+				w.WriteString("i:")
+				writeInt(w, v.Int)
+			} else {
+				w.WriteString("s:")
+				w.WriteString(escape(v.Str))
+			}
 		}
-		fmt.Fprintf(w, "%s\n", strings.Join(parts, "\t"))
+		w.WriteByte('\n')
 	}
 }
 
 // EncodeValue renders a value in the wire format.
 func EncodeValue(v sqlparse.Value) string {
 	if v.IsInt {
-		return fmt.Sprintf("i:%d", v.Int)
+		return "i:" + strconv.FormatInt(v.Int, 10)
 	}
 	return "s:" + escape(v.Str)
 }
@@ -220,8 +291,8 @@ func EncodeValue(v sqlparse.Value) string {
 func DecodeValue(s string) (sqlparse.Value, error) {
 	switch {
 	case strings.HasPrefix(s, "i:"):
-		var n int64
-		if _, err := fmt.Sscanf(s[2:], "%d", &n); err != nil {
+		n, err := strconv.ParseInt(s[2:], 10, 64)
+		if err != nil {
 			return sqlparse.Value{}, fmt.Errorf("server: bad int %q: %w", s, err)
 		}
 		return sqlparse.IntValue(n), nil
@@ -236,7 +307,18 @@ func DecodeValue(s string) (sqlparse.Value, error) {
 	}
 }
 
+// Escape renders s in the wire escaping: \\, \t, \n and \r become
+// two-byte escapes, so no payload byte can be mistaken for a line or
+// field terminator. Used for TEXT values and ERR messages.
+func Escape(s string) string { return escape(s) }
+
+// Unescape reverses Escape.
+func Unescape(s string) (string, error) { return unescape(s) }
+
 func escape(s string) string {
+	if !strings.ContainsAny(s, "\\\t\n\r") {
+		return s
+	}
 	var sb strings.Builder
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
@@ -246,6 +328,8 @@ func escape(s string) string {
 			sb.WriteString(`\t`)
 		case '\n':
 			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
 		default:
 			sb.WriteByte(s[i])
 		}
@@ -254,6 +338,9 @@ func escape(s string) string {
 }
 
 func unescape(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
 	var sb strings.Builder
 	for i := 0; i < len(s); i++ {
 		if s[i] != '\\' {
@@ -271,6 +358,8 @@ func unescape(s string) (string, error) {
 			sb.WriteByte('\t')
 		case 'n':
 			sb.WriteByte('\n')
+		case 'r':
+			sb.WriteByte('\r')
 		default:
 			return "", fmt.Errorf("server: unknown escape \\%c", s[i])
 		}

@@ -86,6 +86,14 @@ func needSpace(prev, cur Token) bool {
 // mirroring performance_schema's DIGEST column (the canonical text is
 // the DIGEST_TEXT column).
 func DigestHash(src string) string {
-	sum := sha256.Sum256([]byte(Digest(src)))
+	return HashDigestText(Digest(src))
+}
+
+// HashDigestText hashes an already-canonicalized digest text. Callers
+// that cache the canonical form (the engine's plan cache) use this to
+// skip re-tokenizing the statement; HashDigestText(Digest(s)) ==
+// DigestHash(s) by construction.
+func HashDigestText(digestText string) string {
+	sum := sha256.Sum256([]byte(digestText))
 	return hex.EncodeToString(sum[:16])
 }

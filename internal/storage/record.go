@@ -21,6 +21,21 @@ const (
 	tagText byte = 0x02
 )
 
+// RecordSize returns the encoded size of r without encoding it. The
+// WAL sizes every log record (LSNs are byte offsets) before deciding
+// whether to encode at all, so this must not allocate.
+func RecordSize(r Record) int {
+	size := 2
+	for _, v := range r {
+		if v.IsInt {
+			size += 1 + 8
+		} else {
+			size += 1 + 4 + len(v.Str)
+		}
+	}
+	return size
+}
+
 // EncodeRecord serializes a record. Layout:
 //
 //	u16 fieldCount, then per field: tag byte, then
@@ -30,27 +45,25 @@ const (
 // The encoding is length-prefixed so a forensic scan can re-parse
 // records found at arbitrary offsets in log or page bytes.
 func EncodeRecord(r Record) []byte {
-	size := 2
+	return AppendRecord(make([]byte, 0, RecordSize(r)), r)
+}
+
+// AppendRecord appends r's encoding to dst and returns the extended
+// slice — the allocation-free form of EncodeRecord for callers that
+// batch many records into one (pooled) buffer.
+func AppendRecord(dst []byte, r Record) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r)))
 	for _, v := range r {
 		if v.IsInt {
-			size += 1 + 8
+			dst = append(dst, tagInt)
+			dst = binary.BigEndian.AppendUint64(dst, uint64(v.Int))
 		} else {
-			size += 1 + 4 + len(v.Str)
+			dst = append(dst, tagText)
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.Str)))
+			dst = append(dst, v.Str...)
 		}
 	}
-	out := make([]byte, 0, size)
-	out = binary.BigEndian.AppendUint16(out, uint16(len(r)))
-	for _, v := range r {
-		if v.IsInt {
-			out = append(out, tagInt)
-			out = binary.BigEndian.AppendUint64(out, uint64(v.Int))
-		} else {
-			out = append(out, tagText)
-			out = binary.BigEndian.AppendUint32(out, uint32(len(v.Str)))
-			out = append(out, v.Str...)
-		}
-	}
-	return out
+	return dst
 }
 
 // DecodeRecord parses a record produced by EncodeRecord and returns the
@@ -91,6 +104,42 @@ func DecodeRecord(b []byte) (Record, int, error) {
 		}
 	}
 	return rec, pos, nil
+}
+
+// DecodeKey decodes only the first field of an encoded record — the
+// clustered-index key — without materializing the rest. The B+ tree
+// read path key-filters every slot in a leaf before paying for a full
+// DecodeRecord, so for int keys this must not allocate.
+func DecodeKey(b []byte) (sqlparse.Value, error) {
+	if len(b) < 2 {
+		return sqlparse.Value{}, fmt.Errorf("storage: record truncated (len %d)", len(b))
+	}
+	if binary.BigEndian.Uint16(b) == 0 {
+		return sqlparse.Value{}, fmt.Errorf("storage: record has no fields")
+	}
+	if len(b) < 3 {
+		return sqlparse.Value{}, fmt.Errorf("storage: record field 0 truncated")
+	}
+	pos := 3
+	switch b[2] {
+	case tagInt:
+		if pos+8 > len(b) {
+			return sqlparse.Value{}, fmt.Errorf("storage: int field 0 truncated")
+		}
+		return sqlparse.IntValue(int64(binary.BigEndian.Uint64(b[pos:]))), nil
+	case tagText:
+		if pos+4 > len(b) {
+			return sqlparse.Value{}, fmt.Errorf("storage: text length of field 0 truncated")
+		}
+		l := int(binary.BigEndian.Uint32(b[pos:]))
+		pos += 4
+		if pos+l > len(b) {
+			return sqlparse.Value{}, fmt.Errorf("storage: text field 0 truncated (want %d bytes)", l)
+		}
+		return sqlparse.StrValue(string(b[pos : pos+l])), nil
+	default:
+		return sqlparse.Value{}, fmt.Errorf("storage: unknown field tag 0x%02x in field 0", b[2])
+	}
 }
 
 // Clone returns a deep copy of the record.

@@ -87,16 +87,27 @@ type Record struct {
 // column(1) payloadLen(2).
 const headerSize = 21
 
+// EncodedSize returns the encoded size of the record without encoding
+// it. LSNs are byte offsets, so every logged change is sized on the
+// hot path; this keeps that sizing allocation-free.
+func (r Record) EncodedSize() int {
+	return headerSize + storage.RecordSize(r.Image)
+}
+
 // Encode serializes the record.
 func (r Record) Encode() []byte {
-	payload := storage.EncodeRecord(r.Image)
-	out := make([]byte, 0, headerSize+len(payload))
-	out = binary.BigEndian.AppendUint64(out, r.LSN)
-	out = binary.BigEndian.AppendUint64(out, r.Txn)
-	out = append(out, byte(r.Op), r.Table, r.Column)
-	out = binary.BigEndian.AppendUint16(out, uint16(len(payload)))
-	out = append(out, payload...)
-	return out
+	return r.AppendEncode(make([]byte, 0, r.EncodedSize()))
+}
+
+// AppendEncode appends the record's encoding to dst and returns the
+// extended slice, so batch serializers can reuse one buffer.
+func (r Record) AppendEncode(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, r.LSN)
+	dst = binary.BigEndian.AppendUint64(dst, r.Txn)
+	dst = append(dst, byte(r.Op), r.Table, r.Column)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(storage.RecordSize(r.Image)))
+	dst = storage.AppendRecord(dst, r.Image)
+	return dst
 }
 
 // DecodeRecord parses one record from b, returning it and the bytes
@@ -174,7 +185,7 @@ func (l *Log) AppendBatch(recs []Record) {
 }
 
 func (l *Log) appendLocked(r Record) {
-	enc := headerSize + len(storage.EncodeRecord(r.Image))
+	enc := r.EncodedSize()
 	l.records = append(l.records, r)
 	l.sizes = append(l.sizes, enc)
 	l.bytes += enc
@@ -243,8 +254,10 @@ func (l *Log) Serialize() []byte {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := make([]byte, 0, l.bytes+storage.FrameHeaderSize*len(l.records))
+	var scratch []byte
 	for _, r := range l.records {
-		out = storage.AppendFrame(out, r.Encode())
+		scratch = r.AppendEncode(scratch[:0])
+		out = storage.AppendFrame(out, scratch)
 	}
 	return out
 }
@@ -511,7 +524,7 @@ func (m *Manager) TxInsert(txn uint64, table uint8, row storage.Record) (uint64,
 	return m.commit(
 		Record{Txn: txn, Op: OpInsert, Table: table, Column: WholeRow, Image: row.Clone()},
 		&Record{Txn: txn, Op: OpInsert, Table: table, Column: WholeRow, Image: key},
-		headerSize+len(storage.EncodeRecord(row)))
+		headerSize+storage.RecordSize(row))
 }
 
 // TxUpdate records a single-column update by txn: old and new values go
@@ -522,7 +535,7 @@ func (m *Manager) TxUpdate(txn uint64, table uint8, key storage.Record, column u
 	return m.commit(
 		Record{Txn: txn, Op: OpUpdate, Table: table, Column: column, Image: redoImg},
 		&Record{Txn: txn, Op: OpUpdate, Table: table, Column: column, Image: undoImg},
-		headerSize+len(storage.EncodeRecord(redoImg)))
+		headerSize+storage.RecordSize(redoImg))
 }
 
 // TxDelete records a row deletion by txn; the undo log keeps the full
@@ -532,7 +545,7 @@ func (m *Manager) TxDelete(txn uint64, table uint8, oldRow storage.Record) (uint
 	return m.commit(
 		Record{Txn: txn, Op: OpDelete, Table: table, Column: WholeRow, Image: key},
 		&Record{Txn: txn, Op: OpDelete, Table: table, Column: WholeRow, Image: oldRow.Clone()},
-		headerSize+len(storage.EncodeRecord(oldRow)))
+		headerSize+storage.RecordSize(oldRow))
 }
 
 // LogCommit appends txn's commit marker to the redo log. Recovery
@@ -541,7 +554,7 @@ func (m *Manager) TxDelete(txn uint64, table uint8, oldRow storage.Record) (uint
 func (m *Manager) LogCommit(txn uint64) error {
 	_, _, err := m.commit(
 		Record{Txn: txn, Op: OpCommit, Column: WholeRow},
-		nil, headerSize+len(storage.EncodeRecord(nil)))
+		nil, headerSize+storage.RecordSize(nil))
 	return err
 }
 
@@ -550,7 +563,7 @@ func (m *Manager) LogCommit(txn uint64) error {
 func (m *Manager) LogAbort(txn uint64) error {
 	_, _, err := m.commit(
 		Record{Txn: txn, Op: OpAbort, Column: WholeRow},
-		nil, headerSize+len(storage.EncodeRecord(nil)))
+		nil, headerSize+storage.RecordSize(nil))
 	return err
 }
 

@@ -10,9 +10,11 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
+	"snapdb/internal/client"
 	"snapdb/internal/engine"
 )
 
@@ -71,6 +73,70 @@ func SetupTables(e *engine.Engine, tables, rows int) error {
 	return nil
 }
 
+// stmtGen produces one goroutine's deterministic statement stream. It
+// runs on the measurement path of every throughput benchmark, so it
+// pre-resolves table names and builds statements with strconv appends
+// into a reused buffer instead of per-statement fmt formatting. The
+// generated text is byte-identical to the former Sprintf forms.
+type stmtGen struct {
+	rng    *rand.Rand
+	tables []string
+	cfg    DriverConfig
+	g      int
+	buf    []byte
+}
+
+func newStmtGen(cfg DriverConfig, g int) *stmtGen {
+	tables := make([]string, cfg.Tables)
+	for i := range tables {
+		tables[i] = DriverTableName(i)
+	}
+	return &stmtGen{
+		rng:    rand.New(rand.NewSource(cfg.Seed + int64(g)*7919)),
+		tables: tables,
+		cfg:    cfg,
+		g:      g,
+	}
+}
+
+// appendPad5 appends n zero-padded to at least 5 digits (the %05d of
+// the original format).
+func appendPad5(b []byte, n int64) []byte {
+	var tmp [20]byte
+	s := strconv.AppendInt(tmp[:0], n, 10)
+	for pad := 5 - len(s); pad > 0; pad-- {
+		b = append(b, '0')
+	}
+	return append(b, s...)
+}
+
+// next returns the i-th statement and whether it is a write. The
+// string is freshly allocated — batch mode retains statements past the
+// call — but the build scratch is reused.
+func (sg *stmtGen) next(i int) (string, bool) {
+	table := sg.tables[sg.rng.Intn(sg.cfg.Tables)]
+	id := int64(sg.rng.Intn(sg.cfg.RowsPerTable))
+	b := sg.buf[:0]
+	write := sg.cfg.WriteEvery > 0 && (i+1)%sg.cfg.WriteEvery == 0
+	if write {
+		b = append(b, "UPDATE "...)
+		b = append(b, table...)
+		b = append(b, " SET v = 'upd-"...)
+		b = strconv.AppendInt(b, int64(sg.g), 10)
+		b = append(b, '-')
+		b = appendPad5(b, int64(i))
+		b = append(b, "' WHERE id = "...)
+		b = strconv.AppendInt(b, id, 10)
+	} else {
+		b = append(b, "SELECT v FROM "...)
+		b = append(b, table...)
+		b = append(b, " WHERE id = "...)
+		b = strconv.AppendInt(b, id, 10)
+	}
+	sg.buf = b
+	return string(b), write
+}
+
 // RunDriver drives e with cfg.Goroutines concurrent sessions until
 // cfg.Statements statements have executed, and reports throughput.
 // SetupTables must have been run first with matching Tables and
@@ -96,16 +162,12 @@ func RunDriver(e *engine.Engine, cfg DriverConfig) (*DriverResult, error) {
 			defer wg.Done()
 			s := e.Connect(fmt.Sprintf("driver%d", g))
 			defer s.Close()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(g)*7919))
+			gen := newStmtGen(cfg, g)
 			for i := 0; i < perG; i++ {
-				table := DriverTableName(rng.Intn(cfg.Tables))
-				id := rng.Intn(cfg.RowsPerTable)
-				var q string
-				if cfg.WriteEvery > 0 && (i+1)%cfg.WriteEvery == 0 {
-					q = fmt.Sprintf("UPDATE %s SET v = 'upd-%d-%05d' WHERE id = %d", table, g, i, id)
+				q, write := gen.next(i)
+				if write {
 					writes[g]++
 				} else {
-					q = fmt.Sprintf("SELECT v FROM %s WHERE id = %d", table, id)
 					reads[g]++
 				}
 				if _, err := s.Execute(q); err != nil {
@@ -123,6 +185,108 @@ func RunDriver(e *engine.Engine, cfg DriverConfig) (*DriverResult, error) {
 
 	res := &DriverResult{Duration: time.Since(start)}
 	for g := 0; g < cfg.Goroutines; g++ {
+		res.Reads += reads[g]
+		res.Writes += writes[g]
+	}
+	res.Statements = res.Reads + res.Writes
+	if secs := res.Duration.Seconds(); secs > 0 {
+		res.PerSecond = float64(res.Statements) / secs
+	}
+	return res, nil
+}
+
+// RemoteDriverConfig configures a driver run against a snapdb server
+// over TCP instead of in-process sessions.
+type RemoteDriverConfig struct {
+	DriverConfig
+	Addr      string // server address
+	BatchSize int    // statements per ExecuteBatch; <=1 drives per-statement Execute
+}
+
+// RunDriverRemote drives a running server with cfg.Goroutines client
+// connections issuing the same deterministic statement mix as
+// RunDriver. With BatchSize > 1 each connection pipelines its
+// statements through client.Conn.ExecuteBatch, which is the
+// batched-throughput configuration E12 and BenchmarkBatchedThroughput
+// measure against the per-statement baseline.
+func RunDriverRemote(cfg RemoteDriverConfig) (*DriverResult, error) {
+	dcfg := cfg.DriverConfig.normalized()
+	if dcfg.Statements <= 0 {
+		return nil, fmt.Errorf("workload: driver needs a positive statement count")
+	}
+	perG := dcfg.Statements / dcfg.Goroutines
+	if perG == 0 {
+		perG = 1
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, dcfg.Goroutines)
+	reads := make([]int, dcfg.Goroutines)
+	writes := make([]int, dcfg.Goroutines)
+	start := time.Now()
+	for g := 0; g < dcfg.Goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn, err := client.Dial(cfg.Addr)
+			if err != nil {
+				errs <- fmt.Errorf("workload: driver goroutine %d: %w", g, err)
+				return
+			}
+			defer conn.Close()
+			gen := newStmtGen(dcfg, g)
+			batch := make([]string, 0, cfg.BatchSize)
+			flush := func() error {
+				if len(batch) == 0 {
+					return nil
+				}
+				results, err := conn.ExecuteBatch(batch)
+				if err != nil {
+					return err
+				}
+				for i, br := range results {
+					if br.Err != nil {
+						return fmt.Errorf("%s: %w", batch[i], br.Err)
+					}
+				}
+				batch = batch[:0]
+				return nil
+			}
+			for i := 0; i < perG; i++ {
+				q, write := gen.next(i)
+				if write {
+					writes[g]++
+				} else {
+					reads[g]++
+				}
+				if cfg.BatchSize > 1 {
+					batch = append(batch, q)
+					if len(batch) >= cfg.BatchSize {
+						if err := flush(); err != nil {
+							errs <- fmt.Errorf("workload: driver goroutine %d: %w", g, err)
+							return
+						}
+					}
+					continue
+				}
+				if _, err := conn.Execute(q); err != nil {
+					errs <- fmt.Errorf("workload: driver goroutine %d: %s: %w", g, q, err)
+					return
+				}
+			}
+			if err := flush(); err != nil {
+				errs <- fmt.Errorf("workload: driver goroutine %d: %w", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+
+	res := &DriverResult{Duration: time.Since(start)}
+	for g := 0; g < dcfg.Goroutines; g++ {
 		res.Reads += reads[g]
 		res.Writes += writes[g]
 	}

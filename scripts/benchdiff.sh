@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Compares a bench.sh result file against the checked-in baseline and
+# fails (exit 1) if any shared benchmark regressed more than
+# THRESHOLD_PCT in ns/op.
+#
+# Usage: scripts/benchdiff.sh [new.json] [baseline.json]
+#
+#   new.json       defaults to the newest BENCH_*.json in the worktree
+#   baseline.json  defaults to the newest BENCH_*.json committed at
+#                  HEAD, read via `git show` — so a bench.sh run that
+#                  overwrote today's file still diffs against the
+#                  committed bytes, not its own output
+#
+# THRESHOLD_PCT (default 20) sets the allowed ns/op growth.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+new="${1:-$(ls BENCH_*.json 2>/dev/null | sort | tail -1)}"
+if [ -z "$new" ] || [ ! -f "$new" ]; then
+    echo "benchdiff: no BENCH_*.json in the worktree (run scripts/bench.sh first)" >&2
+    exit 2
+fi
+
+base_tmp=""
+if [ $# -ge 2 ]; then
+    base="$2"
+else
+    base_name="$(git ls-tree -r --name-only HEAD | grep '^BENCH_.*\.json$' | sort | tail -1 || true)"
+    if [ -z "$base_name" ]; then
+        echo "benchdiff: no committed BENCH_*.json baseline at HEAD" >&2
+        exit 2
+    fi
+    base_tmp="$(mktemp)"
+    trap 'rm -f "$base_tmp"' EXIT
+    git show "HEAD:$base_name" > "$base_tmp"
+    base="$base_tmp"
+    echo "benchdiff: baseline HEAD:$base_name vs $new"
+fi
+
+THRESHOLD_PCT="${THRESHOLD_PCT:-20}" python3 - "$base" "$new" <<'PY'
+import json, os, sys
+
+threshold = float(os.environ["THRESHOLD_PCT"])
+base_file, new_file = sys.argv[1], sys.argv[2]
+base = {b["name"]: b for b in json.load(open(base_file))}
+new = {b["name"]: b for b in json.load(open(new_file))}
+
+shared = sorted(set(base) & set(new))
+if not shared:
+    print("benchdiff: no shared benchmarks between baseline and new run", file=sys.stderr)
+    sys.exit(2)
+
+failed = []
+for name in shared:
+    b, n = base[name]["ns_per_op"], new[name]["ns_per_op"]
+    if b <= 0:
+        continue
+    pct = 100.0 * (n - b) / b
+    flag = ""
+    if pct > threshold:
+        flag = "  <-- REGRESSION"
+        failed.append(name)
+    print(f"{name:<55} {b:>14.1f} -> {n:>14.1f} ns/op  {pct:+7.1f}%{flag}")
+
+only_base = sorted(set(base) - set(new))
+if only_base:
+    print(f"benchdiff: {len(only_base)} baseline benchmark(s) missing from new run: "
+          + ", ".join(only_base), file=sys.stderr)
+
+if failed:
+    print(f"benchdiff: {len(failed)} benchmark(s) regressed more than {threshold:.0f}% ns/op",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"benchdiff: OK ({len(shared)} benchmarks within {threshold:.0f}%)")
+PY

@@ -27,6 +27,13 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench smoke =="
+# One iteration of the statement-pipeline benchmarks: catches a
+# benchmark that no longer compiles or errors at runtime (timing is
+# meaningless at -benchtime 1x; scripts/benchdiff.sh does the timing
+# comparison against the committed baseline).
+go test -run '^$' -bench 'PlanCache|BatchedThroughput' -benchtime 1x .
+
 echo "== fuzz smoke =="
 # One -fuzz target per invocation (a Go toolchain constraint).
 fuzz() { go test "$1" -run '^$' -fuzz "$2" -fuzztime "${FUZZTIME:-5s}"; }
