@@ -44,6 +44,8 @@ type Pool struct {
 	access  map[storage.PageID]uint64 // lifetime access counts (survive eviction)
 
 	hits, misses, evictions uint64
+
+	trace func(storage.PageID) // optional per-fetch observer; see SetTraceFunc
 }
 
 // New creates a pool of the given page capacity over ts.
@@ -69,6 +71,9 @@ func (p *Pool) Fetch(id storage.PageID) (*storage.Page, error) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.trace != nil {
+		p.trace(id)
+	}
 	p.access[id]++
 	if el, ok := p.present[id]; ok {
 		p.lru.MoveToFront(el)
@@ -84,6 +89,26 @@ func (p *Pool) Fetch(id storage.PageID) (*storage.Page, error) {
 		p.evictions++
 	}
 	return page, nil
+}
+
+// SetTraceFunc installs (or, with nil, removes) an observer invoked
+// with every fetched page id, in fetch order, under the pool lock. The
+// executor equivalence tests use it to prove two implementations touch
+// the same pages in the same sequence; fn must not call back into the
+// pool.
+func (p *Pool) SetTraceFunc(fn func(storage.PageID)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.trace = fn
+}
+
+// FetchCount returns the total number of fetches served (hits plus
+// misses). Operators sample it around their traversals to attribute
+// pool activity per plan node.
+func (p *Pool) FetchCount() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.hits + p.misses
 }
 
 // Contains reports whether the page is currently cached.

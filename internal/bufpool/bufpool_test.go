@@ -188,3 +188,38 @@ func BenchmarkFetchHit(b *testing.B) {
 		}
 	}
 }
+
+func TestFetchCountAndTrace(t *testing.T) {
+	p, ids := newPool(t, 4, 3)
+	var trace []storage.PageID
+	p.SetTraceFunc(func(id storage.PageID) { trace = append(trace, id) })
+
+	seq := []storage.PageID{ids[0], ids[1], ids[0], ids[2]}
+	for _, id := range seq {
+		if _, err := p.Fetch(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.FetchCount(); got != uint64(len(seq)) {
+		t.Errorf("FetchCount = %d, want %d", got, len(seq))
+	}
+	if len(trace) != len(seq) {
+		t.Fatalf("trace recorded %d fetches, want %d", len(trace), len(seq))
+	}
+	for i, id := range seq {
+		if trace[i] != id {
+			t.Errorf("trace[%d] = %d, want %d", i, trace[i], id)
+		}
+	}
+
+	p.SetTraceFunc(nil)
+	if _, err := p.Fetch(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != len(seq) {
+		t.Error("trace still recording after SetTraceFunc(nil)")
+	}
+	if got := p.FetchCount(); got != uint64(len(seq))+1 {
+		t.Errorf("FetchCount = %d, want %d", got, len(seq)+1)
+	}
+}

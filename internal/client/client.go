@@ -23,6 +23,7 @@ type Result struct {
 	Columns      []string
 	Rows         [][]sqlparse.Value
 	RowsAffected int
+	RowsExamined int
 	FromCache    bool
 }
 
@@ -55,15 +56,15 @@ type Conn struct {
 	lastCols    []string
 }
 
-// parseOKHeader parses the three space-separated counters of an OK
+// parseOKHeader parses the four space-separated counters of an OK
 // reply without the fmt scanner or any intermediate strings.
-func parseOKHeader(b []byte) (nrows, affected, fromCache int, ok bool) {
-	var vals [3]int
+func parseOKHeader(b []byte) (nrows, affected, fromCache, examined int, ok bool) {
+	var vals [4]int
 	i := 0
-	for f := 0; f < 3; f++ {
+	for f := 0; f < 4; f++ {
 		if f > 0 {
 			if i >= len(b) || b[i] != ' ' {
-				return 0, 0, 0, false
+				return 0, 0, 0, 0, false
 			}
 			i++
 		}
@@ -74,14 +75,14 @@ func parseOKHeader(b []byte) (nrows, affected, fromCache int, ok bool) {
 			digits++
 		}
 		if digits == 0 {
-			return 0, 0, 0, false
+			return 0, 0, 0, 0, false
 		}
 		vals[f] = n
 	}
 	if i != len(b) {
-		return 0, 0, 0, false
+		return 0, 0, 0, 0, false
 	}
-	return vals[0], vals[1], vals[2], true
+	return vals[0], vals[1], vals[2], vals[3], true
 }
 
 // Dial connects to a snapdb server.
@@ -149,6 +150,23 @@ func (c *Conn) Execute(stmt string) (*Result, error) {
 		return nil, fmt.Errorf("client: send: %w", err)
 	}
 	return c.readResult()
+}
+
+// Explain runs EXPLAIN on the statement and returns the rendered plan,
+// one operator per line, root first.
+func (c *Conn) Explain(stmt string) ([]string, error) {
+	res, err := c.Execute("EXPLAIN " + stmt)
+	if err != nil {
+		return nil, err
+	}
+	lines := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		if len(row) != 1 {
+			return nil, fmt.Errorf("client: malformed EXPLAIN row %v", row)
+		}
+		lines = append(lines, row[0].Str)
+	}
+	return lines, nil
 }
 
 // ExecuteBatch pipelines stmts over the connection: every statement is
@@ -221,11 +239,11 @@ func (c *Conn) readResult() (*Result, error) {
 		}
 		return nil, &ServerError{Msg: msg}
 	case bytes.HasPrefix(line, []byte("OK ")):
-		nrows, affected, fromCache, ok := parseOKHeader(line[3:])
+		nrows, affected, fromCache, examined, ok := parseOKHeader(line[3:])
 		if !ok {
 			return nil, fmt.Errorf("client: malformed OK line %q", line)
 		}
-		res := &Result{RowsAffected: affected, FromCache: fromCache == 1}
+		res := &Result{RowsAffected: affected, RowsExamined: examined, FromCache: fromCache == 1}
 		if nrows == 0 {
 			return res, nil
 		}

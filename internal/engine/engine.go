@@ -34,6 +34,7 @@ import (
 	"snapdb/internal/btree"
 	"snapdb/internal/bufpool"
 	"snapdb/internal/dblog"
+	"snapdb/internal/engine/exec"
 	"snapdb/internal/heap"
 	"snapdb/internal/infoschema"
 	"snapdb/internal/perfschema"
@@ -184,6 +185,10 @@ type Engine struct {
 	// hit or miss, produces the same forensic artifacts.
 	plans *planCache
 
+	// fc samples the buffer pool's cumulative fetch count; scan
+	// operators use it to attribute pool activity per plan node.
+	fc exec.FetchCounter
+
 	mu          sync.Mutex
 	ts          *storage.Tablespace
 	pool        *bufpool.Pool
@@ -246,6 +251,7 @@ func New(cfg Config) (*Engine, error) {
 		tables:     make(map[string]*Table),
 		tablesByID: make(map[uint8]*Table),
 	}
+	e.fc = pool.FetchCount
 	if !cfg.DisablePlanCache {
 		e.plans = newPlanCache(cfg.PlanCacheEntries)
 	}
@@ -324,10 +330,26 @@ type Result struct {
 	// documents that access paths are query-dependent, which is what
 	// makes buffer-pool state revealing.
 	AccessPath string
+
+	// stages holds the per-operator runtime counters of a successful
+	// operator-tree execution; Session.Execute records them into
+	// perfschema's events_stages surface.
+	stages []perfschema.StageEvent
 }
+
+// execFn is the statement-execution back half. Session.Execute uses
+// (*Engine).execute; the equivalence tests swap in a frozen copy of the
+// pre-operator executor to prove the refactor left every forensic
+// artifact byte-identical.
+type execFn func(e *Engine, s *Session, query string, pl *plan, parseErr error, ts int64) (*Result, error)
 
 // Execute runs one SQL statement on this session.
 func (s *Session) Execute(query string) (*Result, error) {
+	return s.executeWith(query, (*Engine).execute)
+}
+
+// executeWith is Execute with the execution back half injected.
+func (s *Session) executeWith(query string, fn execFn) (*Result, error) {
 	e := s.eng
 	start := e.ExecClock()
 	ts := e.Clock()
@@ -368,7 +390,7 @@ func (s *Session) Execute(query string) (*Result, error) {
 		e.perf.BeginStatementWithDigest(s.ID, query, digestHash, digestText, ts)
 	}
 
-	res, err := e.execute(s, query, pl, parseErr, ts)
+	res, err := fn(e, s, query, pl, parseErr, ts)
 
 	dur := e.ExecClock().Sub(start)
 	examined, returned := 0, 0
@@ -381,6 +403,9 @@ func (s *Session) Execute(query string) (*Result, error) {
 	}
 	if !e.cfg.DisablePerfSchema {
 		e.perf.EndStatement(s.ID, examined, returned, dur)
+		if res != nil && len(res.stages) > 0 {
+			e.perf.AddStages(s.ID, ts, digestHash, res.stages)
+		}
 	}
 	e.procs.ClearQuery(s.ID)
 	e.general.Record(dblog.Entry{Timestamp: ts, Session: s.ID, Duration: dur, Statement: query})
@@ -474,6 +499,10 @@ func (e *Engine) execute(s *Session, query string, pl *plan, parseErr error, ts 
 			defer e.locks.unlockAll()
 		}
 		return e.execTxnControl(s, st, ts)
+	case *sqlparse.Explain:
+		// Planning only reads the catalog (e.mu-guarded) — no page is
+		// fetched and no tree is walked, so no table lock is needed.
+		return e.execExplain(st)
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", pl.stmt)
 	}
@@ -650,6 +679,12 @@ func checkType(col sqlparse.ColumnDef, v sqlparse.Value) error {
 	return nil
 }
 
+// execSelect is a thin driver over the operator tree: resolve the
+// table, consult the query cache, fetch (or build) the physical
+// template, instantiate, drain, and package the result. The access
+// path, predicate evaluation, sorting, aggregation, projection, and
+// LIMIT all live in the operators now (internal/engine/exec); the
+// planning lives in logical.go/physical.go.
 func (e *Engine) execSelect(s *Session, st *sqlparse.Select, pl *plan, query string) (*Result, error) {
 	if res, ok := e.systemSelect(st); ok {
 		return res, nil
@@ -661,170 +696,30 @@ func (e *Engine) execSelect(s *Session, st *sqlparse.Select, pl *plan, query str
 	if cached, ok := e.qcache.Get(query); ok {
 		return &Result{Columns: selectColumns(t, st), Rows: cached, FromCache: true}, nil
 	}
-	var whereIdx []int
-	if pl != nil && pl.bind.table == t {
-		whereIdx = pl.bind.whereIdx
+	pp := e.physSelect(pl, t, st)
+	if pp.whereErr != nil {
+		// Unknown WHERE column: reported before any page is fetched.
+		return nil, pp.whereErr
 	}
-	rows, examined, path, err := e.scanWhere(t, st.Where, whereIdx)
+	pi := pp.instantiate(e.fc)
+	rows, err := pi.drain()
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Columns: selectColumns(t, st), RowsExamined: examined, AccessPath: path}
-
-	// Aggregates.
-	if len(st.Exprs) == 1 && st.Exprs[0].Agg != sqlparse.AggNone {
-		val, err := aggregate(t, st.Exprs[0], rows)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = []storage.Record{{val}}
-		e.qcache.Put(query, t.Name, res.Rows)
-		return res, nil
+	if pp.deferredErr != nil {
+		// Aggregate/projection/ORDER BY resolution errors surface after
+		// the scan has run, as they always did.
+		return nil, pp.deferredErr
 	}
-
-	// Projection (reusing the plan's resolved column indices when the
-	// cache bound them).
-	proj := pl.projFor(t)
-	if proj == nil {
-		if proj, err = projection(t, st.Exprs); err != nil {
-			return nil, err
-		}
+	res := &Result{
+		Columns:      selectColumns(t, st),
+		Rows:         rows,
+		RowsExamined: pi.examined(),
+		AccessPath:   pp.path,
+		stages:       pi.stages(),
 	}
-	out := make([]storage.Record, 0, len(rows))
-	for _, r := range rows {
-		pr := make(storage.Record, len(proj))
-		for i, idx := range proj {
-			pr[i] = r[idx]
-		}
-		out = append(out, pr)
-	}
-
-	if st.OrderBy != "" {
-		// Like MySQL, ORDER BY may name any table column, selected or
-		// not; sort on the full rows before (or alongside) projecting.
-		oidx := t.ColumnIndex(st.OrderBy)
-		if oidx < 0 {
-			return nil, fmt.Errorf("engine: unknown ORDER BY column %q", st.OrderBy)
-		}
-		order := make([]int, len(rows))
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool {
-			c := rows[order[a]][oidx].Compare(rows[order[b]][oidx])
-			if st.Desc {
-				return c > 0
-			}
-			return c < 0
-		})
-		reordered := make([]storage.Record, len(out))
-		for i, o := range order {
-			reordered[i] = out[o]
-		}
-		out = reordered
-	}
-	if st.Limit > 0 && len(out) > st.Limit {
-		out = out[:st.Limit]
-	}
-	res.Rows = out
-	e.qcache.Put(query, t.Name, out)
+	e.qcache.Put(query, t.Name, rows)
 	return res, nil
-}
-
-// scanWhere evaluates a conjunctive WHERE over the table, using the
-// primary-key B+ tree for point and range predicates on the key and a
-// secondary index otherwise when one covers a bounded predicate. It
-// also reports the access path taken. colIdx, when non-nil, is the
-// plan-cache-resolved predicate column index slice (one per predicate);
-// nil resolves here.
-func (e *Engine) scanWhere(t *Table, where sqlparse.Where, colIdx []int) ([]storage.Record, int, string, error) {
-	if colIdx == nil {
-		// Resolve predicate columns up front so unknown columns fail
-		// even on empty tables.
-		colIdx = make([]int, len(where))
-		for i, p := range where {
-			idx := t.ColumnIndex(p.Column)
-			if idx < 0 {
-				return nil, 0, "", fmt.Errorf("engine: unknown column %q in WHERE", p.Column)
-			}
-			colIdx[i] = idx
-		}
-	}
-	match := func(r storage.Record) (bool, error) {
-		for i, p := range where {
-			if !p.Op.Eval(r[colIdx[i]].Compare(p.Arg)) {
-				return false, nil
-			}
-		}
-		return true, nil
-	}
-
-	// Index selection: a point or range predicate on the PK narrows the
-	// scan to the relevant leaves; failing that, a bounded predicate on
-	// a secondary-indexed column drives an index scan. Either way the
-	// access path is query-dependent — which is what makes the
-	// buffer-pool dump revealing.
-	lo, hi, havePK := pkBounds(t, where)
-	// Pre-size the match slice from the table's row-count hint: a PK
-	// point lookup matches at most one row; an unbounded scan can match
-	// everything. The hint is advisory, so the capacity is a guess —
-	// never a limit.
-	var rows []storage.Record
-	switch {
-	case havePK && lo.Equal(hi):
-		rows = make([]storage.Record, 0, 1)
-	case len(where) == 0:
-		if n := t.rows.Load(); n > 0 && n <= 1<<16 {
-			rows = make([]storage.Record, 0, n)
-		}
-	}
-	examined := 0
-	var scanErr error
-	visit := func(r storage.Record) bool {
-		examined++
-		ok, err := match(r)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		if ok {
-			rows = append(rows, r)
-		}
-		return true
-	}
-	var err error
-	path := "full-scan"
-	switch {
-	case havePK:
-		path = "pk-range"
-		err = t.Tree.Range(lo, hi, visit)
-	default:
-		if ix, ilo, ihi, ok := indexBounds(t, where); ok {
-			candidates, n, ierr := e.indexScan(t, ix, ilo, ihi)
-			if ierr != nil {
-				return nil, 0, "", ierr
-			}
-			examined = n
-			for _, r := range candidates {
-				ok, merr := match(r)
-				if merr != nil {
-					return nil, 0, "", merr
-				}
-				if ok {
-					rows = append(rows, r)
-				}
-			}
-			return rows, examined, "index:" + ix.Name, nil
-		}
-		err = t.Tree.Scan(visit)
-	}
-	if err != nil {
-		return nil, 0, "", err
-	}
-	if scanErr != nil {
-		return nil, 0, "", scanErr
-	}
-	return rows, examined, path, nil
 }
 
 // pkBounds extracts [lo, hi] bounds on the primary key from the WHERE
@@ -892,60 +787,32 @@ func projection(t *Table, exprs []sqlparse.SelectExpr) ([]int, error) {
 	return out, nil
 }
 
-func aggregate(t *Table, ex sqlparse.SelectExpr, rows []storage.Record) (sqlparse.Value, error) {
-	switch ex.Agg {
-	case sqlparse.AggCount:
-		return sqlparse.IntValue(int64(len(rows))), nil
-	case sqlparse.AggSum:
-		idx := t.ColumnIndex(ex.Column)
-		if idx < 0 {
-			return sqlparse.Value{}, fmt.Errorf("engine: unknown column %q in SUM", ex.Column)
-		}
-		if t.Columns[idx].Type != sqlparse.TypeInt {
-			return sqlparse.Value{}, fmt.Errorf("engine: SUM over non-INT column %q", ex.Column)
-		}
-		var sum int64
-		for _, r := range rows {
-			sum += r[idx].Int
-		}
-		return sqlparse.IntValue(sum), nil
-	default:
-		return sqlparse.Value{}, fmt.Errorf("engine: unsupported aggregate")
-	}
-}
-
+// execUpdate drives the scan half through the operator tree (the same
+// planner and operators as SELECT, minus projection), then applies the
+// mutation loop to the matched rows.
 func (e *Engine) execUpdate(s *Session, st *sqlparse.Update, pl *plan, query string, ts int64) (*Result, error) {
 	t, err := e.planTable(pl, st.Table)
 	if err != nil {
 		return nil, err
 	}
-	rows, examined, _, err := e.scanWhere(t, st.Where, nil)
+	pp := e.physUpdate(pl, t, st)
+	if pp.whereErr != nil {
+		return nil, pp.whereErr
+	}
+	pi := pp.instantiate(e.fc)
+	rows, err := pi.drain()
 	if err != nil {
 		return nil, err
 	}
-	// Validate assignments once.
-	type setOp struct {
-		idx int
-		val sqlparse.Value
-	}
-	sets := make([]setOp, 0, len(st.Set))
-	for _, a := range st.Set {
-		idx := t.ColumnIndex(a.Column)
-		if idx < 0 {
-			return nil, fmt.Errorf("engine: unknown column %q in SET", a.Column)
-		}
-		if idx == t.PKIndex {
-			return nil, fmt.Errorf("engine: updating the primary key is not supported")
-		}
-		if err := checkType(t.Columns[idx], a.Value); err != nil {
-			return nil, err
-		}
-		sets = append(sets, setOp{idx, a.Value})
+	if pp.deferredErr != nil {
+		// SET-clause validation failures surface after the scan, where
+		// the inline validation loop used to run.
+		return nil, pp.deferredErr
 	}
 	txn, auto := s.stmtTxn(e)
 	for _, old := range rows {
 		updated := old.Clone()
-		for _, op := range sets {
+		for _, op := range pp.sets {
 			// Byte-level change records, one per modified column.
 			_, undo, err := e.wal.TxUpdate(txn, t.ID,
 				storage.Record{old[t.PKIndex]}, uint8(op.idx),
@@ -974,15 +841,22 @@ func (e *Engine) execUpdate(s *Session, st *sqlparse.Update, pl *plan, query str
 			}
 		}
 	}
-	return &Result{RowsAffected: len(rows), RowsExamined: examined}, nil
+	return &Result{RowsAffected: len(rows), RowsExamined: pi.examined(), stages: pi.stages()}, nil
 }
 
+// execDelete drives the scan half through the operator tree, then
+// removes the matched rows.
 func (e *Engine) execDelete(s *Session, st *sqlparse.Delete, pl *plan, query string, ts int64) (*Result, error) {
 	t, err := e.planTable(pl, st.Table)
 	if err != nil {
 		return nil, err
 	}
-	rows, examined, _, err := e.scanWhere(t, st.Where, nil)
+	pp := e.physDelete(pl, t, st)
+	if pp.whereErr != nil {
+		return nil, pp.whereErr
+	}
+	pi := pp.instantiate(e.fc)
+	rows, err := pi.drain()
 	if err != nil {
 		return nil, err
 	}
@@ -1012,5 +886,5 @@ func (e *Engine) execDelete(s *Session, st *sqlparse.Delete, pl *plan, query str
 			}
 		}
 	}
-	return &Result{RowsAffected: len(rows), RowsExamined: examined}, nil
+	return &Result{RowsAffected: len(rows), RowsExamined: pi.examined(), stages: pi.stages()}, nil
 }

@@ -1,0 +1,202 @@
+package exec
+
+import (
+	"fmt"
+
+	"snapdb/internal/btree"
+	"snapdb/internal/sqlparse"
+	"snapdb/internal/storage"
+)
+
+// scanBase is the shared buffer-and-emit half of the scan leaves. The
+// leaves are blocking: Open runs the complete B+ tree traversal and
+// buffers every visited row, then Next drains the buffer. Blocking is
+// deliberate — it reproduces the legacy scan loop's buffer-pool fetch
+// sequence exactly, because the traversal happens in one piece no
+// matter what the operators above do (see the package comment).
+type scanBase struct {
+	desc  string
+	buf   []storage.Record
+	pos   int
+	stats Stats
+}
+
+func (s *scanBase) Next() (storage.Record, bool, error) {
+	if s.pos >= len(s.buf) {
+		return nil, false, nil
+	}
+	r := s.buf[s.pos]
+	s.pos++
+	s.stats.RowsReturned++
+	return r, true, nil
+}
+
+func (s *scanBase) Close() error {
+	s.buf = nil
+	return nil
+}
+
+func (s *scanBase) Describe() string     { return s.desc }
+func (s *scanBase) Stats() Stats         { return s.stats }
+func (s *scanBase) Children() []Operator { return nil }
+
+// visit is the shared traversal callback: count and buffer every row.
+func (s *scanBase) visit(r storage.Record) bool {
+	s.stats.RowsExamined++
+	s.buf = append(s.buf, r)
+	return true
+}
+
+// FullScan reads every row of a tree in key order.
+type FullScan struct {
+	scanBase
+	tree *btree.Tree
+	hint int64 // advisory row-count hint for pre-sizing; <=0 disables
+	fc   FetchCounter
+}
+
+// NewFullScan builds a full scan over tree. hint, when positive and
+// sane, pre-sizes the row buffer (the caller passes the table's
+// advisory row count for unfiltered scans, 0 otherwise — matching the
+// legacy scan loop's pre-sizing rule).
+func NewFullScan(tree *btree.Tree, hint int64, desc string, fc FetchCounter) *FullScan {
+	s := new(FullScan)
+	s.Init(tree, hint, desc, fc)
+	return s
+}
+
+// Init resets s in place so callers can embed the operator in a
+// larger per-execution allocation instead of heap-allocating each
+// node separately.
+func (s *FullScan) Init(tree *btree.Tree, hint int64, desc string, fc FetchCounter) {
+	*s = FullScan{scanBase: scanBase{desc: desc}, tree: tree, hint: hint, fc: fc}
+}
+
+// Open runs the traversal.
+func (s *FullScan) Open() error {
+	if s.hint > 0 && s.hint <= 1<<16 {
+		s.buf = make([]storage.Record, 0, s.hint)
+	}
+	before := sampleFetches(s.fc)
+	err := s.tree.Scan(s.visit)
+	s.stats.PoolFetches += sampleFetches(s.fc) - before
+	return err
+}
+
+// IndexPointScan reads the rows matching one exact key of a tree — the
+// clustered primary-key tree for `pk = ?` predicates.
+type IndexPointScan struct {
+	scanBase
+	tree *btree.Tree
+	key  sqlparse.Value
+	fc   FetchCounter
+}
+
+// NewIndexPointScan builds a point scan for key.
+func NewIndexPointScan(tree *btree.Tree, key sqlparse.Value, desc string, fc FetchCounter) *IndexPointScan {
+	s := new(IndexPointScan)
+	s.Init(tree, key, desc, fc)
+	return s
+}
+
+// Init resets s in place (see FullScan.Init).
+func (s *IndexPointScan) Init(tree *btree.Tree, key sqlparse.Value, desc string, fc FetchCounter) {
+	*s = IndexPointScan{scanBase: scanBase{desc: desc}, tree: tree, key: key, fc: fc}
+}
+
+// Open runs the point traversal. A point lookup matches at most one
+// row in a unique tree, so the buffer is pre-sized to one.
+func (s *IndexPointScan) Open() error {
+	s.buf = make([]storage.Record, 0, 1)
+	before := sampleFetches(s.fc)
+	err := s.tree.Range(s.key, s.key, s.visit)
+	s.stats.PoolFetches += sampleFetches(s.fc) - before
+	return err
+}
+
+// IndexRangeScan reads the rows (or index entries, when running over a
+// secondary index tree) with keys in [lo, hi].
+type IndexRangeScan struct {
+	scanBase
+	tree   *btree.Tree
+	lo, hi sqlparse.Value
+	fc     FetchCounter
+}
+
+// NewIndexRangeScan builds a range scan over [lo, hi].
+func NewIndexRangeScan(tree *btree.Tree, lo, hi sqlparse.Value, desc string, fc FetchCounter) *IndexRangeScan {
+	s := new(IndexRangeScan)
+	s.Init(tree, lo, hi, desc, fc)
+	return s
+}
+
+// Init resets s in place (see FullScan.Init).
+func (s *IndexRangeScan) Init(tree *btree.Tree, lo, hi sqlparse.Value, desc string, fc FetchCounter) {
+	*s = IndexRangeScan{scanBase: scanBase{desc: desc}, tree: tree, lo: lo, hi: hi, fc: fc}
+}
+
+// Open runs the range traversal.
+func (s *IndexRangeScan) Open() error {
+	before := sampleFetches(s.fc)
+	err := s.tree.Range(s.lo, s.hi, s.visit)
+	s.stats.PoolFetches += sampleFetches(s.fc) - before
+	return err
+}
+
+// KeyLookup resolves secondary-index entries to full rows: its input
+// yields {compositeKey, pk} entries, and each Next searches the
+// clustered tree for the pk. Lookups run row-at-a-time, but because
+// the index leaf below is blocking, the clustered searches still
+// happen in the same order (all index-leaf fetches, then one search
+// per entry) as the legacy two-phase index scan.
+type KeyLookup struct {
+	input     Operator
+	clustered *btree.Tree
+	indexName string
+	desc      string
+	fc        FetchCounter
+	stats     Stats
+}
+
+// NewKeyLookup builds a lookup of input's pk entries in clustered.
+func NewKeyLookup(input Operator, clustered *btree.Tree, indexName, desc string, fc FetchCounter) *KeyLookup {
+	k := new(KeyLookup)
+	k.Init(input, clustered, indexName, desc, fc)
+	return k
+}
+
+// Init resets k in place (see FullScan.Init).
+func (k *KeyLookup) Init(input Operator, clustered *btree.Tree, indexName, desc string, fc FetchCounter) {
+	*k = KeyLookup{input: input, clustered: clustered, indexName: indexName, desc: desc, fc: fc}
+}
+
+// Open opens the index leaf below.
+func (k *KeyLookup) Open() error { return k.input.Open() }
+
+// Next resolves the next index entry to its clustered row.
+func (k *KeyLookup) Next() (storage.Record, bool, error) {
+	entry, ok, err := k.input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	pk := entry[1]
+	k.stats.RowsExamined++
+	before := sampleFetches(k.fc)
+	row, found, err := k.clustered.Search(pk)
+	k.stats.PoolFetches += sampleFetches(k.fc) - before
+	if err != nil {
+		return nil, false, err
+	}
+	if !found {
+		return nil, false, fmt.Errorf("exec: index %q points at missing pk %s", k.indexName, pk)
+	}
+	k.stats.RowsReturned++
+	return row, true, nil
+}
+
+// Close closes the index leaf below.
+func (k *KeyLookup) Close() error { return k.input.Close() }
+
+func (k *KeyLookup) Describe() string     { return k.desc }
+func (k *KeyLookup) Stats() Stats         { return k.stats }
+func (k *KeyLookup) Children() []Operator { return []Operator{k.input} }

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"snapdb/internal/sqlparse"
+	"snapdb/internal/storage"
+)
+
+// execExplain renders the execution plan of the wrapped statement
+// without running it: the statement is lowered and templated through
+// the same two-stage planner execution uses, and the operator tree is
+// printed one node per row, indented by depth, each leaf naming its
+// access path. Planning errors (unknown columns, bad aggregates)
+// surface immediately — EXPLAIN never touches a page, so there is no
+// scan to sequence them after.
+func (e *Engine) execExplain(st *sqlparse.Explain) (*Result, error) {
+	var (
+		pp     *physicalPlan
+		header string
+	)
+	switch inner := st.Stmt.(type) {
+	case *sqlparse.Select:
+		if isSystemTable(inner.Table) {
+			return nil, fmt.Errorf("engine: cannot EXPLAIN system table %q", inner.Table)
+		}
+		t, err := e.lookupTable(inner.Table)
+		if err != nil {
+			return nil, err
+		}
+		pp = e.buildSelectPlan(t, inner)
+	case *sqlparse.Update:
+		t, err := e.lookupTable(inner.Table)
+		if err != nil {
+			return nil, err
+		}
+		pp = e.buildUpdatePlan(t, inner)
+		header = "Update: " + t.Name
+	case *sqlparse.Delete:
+		t, err := e.lookupTable(inner.Table)
+		if err != nil {
+			return nil, err
+		}
+		pp = e.buildDeletePlan(t, inner)
+		header = "Delete: " + t.Name
+	default:
+		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT, UPDATE, and DELETE, not %s", st.Stmt.SQL())
+	}
+	if pp.whereErr != nil {
+		return nil, pp.whereErr
+	}
+	if pp.deferredErr != nil {
+		return nil, pp.deferredErr
+	}
+	// Instantiate (without a fetch counter) purely to walk the tree
+	// shape; the operators are never opened, so nothing is fetched.
+	pi := pp.instantiate(nil)
+	res := &Result{Columns: []string{"EXPLAIN"}, AccessPath: pp.path}
+	base := 0
+	if header != "" {
+		res.Rows = append(res.Rows, storage.Record{sqlparse.StrValue("-> " + header)})
+		base = 1
+	}
+	for _, n := range pi.nodes {
+		line := strings.Repeat("  ", n.depth+base) + "-> " + n.op.Describe()
+		res.Rows = append(res.Rows, storage.Record{sqlparse.StrValue(line)})
+	}
+	return res, nil
+}

@@ -184,9 +184,10 @@ func indexUpdateColumn(t *Table, pk sqlparse.Value, col int, oldVal, newVal sqlp
 
 // indexBounds looks for a usable secondary index: a column with both
 // bounds (or equality) among the predicates. Returns the index and the
-// value range.
-func indexBounds(t *Table, where sqlparse.Where) (*SecondaryIndex, sqlparse.Value, sqlparse.Value, bool) {
-	for _, ix := range t.Indexes {
+// value range. The planner passes a race-free snapshot of the table's
+// index list (see Engine.indexesOf).
+func indexBounds(indexes []*SecondaryIndex, where sqlparse.Where) (*SecondaryIndex, sqlparse.Value, sqlparse.Value, bool) {
+	for _, ix := range indexes {
 		var lo, hi sqlparse.Value
 		var haveLo, haveHi bool
 		for _, p := range where {
@@ -211,29 +212,4 @@ func indexBounds(t *Table, where sqlparse.Where) (*SecondaryIndex, sqlparse.Valu
 		}
 	}
 	return nil, sqlparse.Value{}, sqlparse.Value{}, false
-}
-
-// indexScan fetches the rows whose indexed value lies in [lo, hi],
-// via the secondary index and then the clustered index.
-func (e *Engine) indexScan(t *Table, ix *SecondaryIndex, lo, hi sqlparse.Value) ([]storage.Record, int, error) {
-	klo, khi := indexValueBounds(lo, hi)
-	var pks []sqlparse.Value
-	if err := ix.Tree.Range(klo, khi, func(r storage.Record) bool {
-		pks = append(pks, r[1])
-		return true
-	}); err != nil {
-		return nil, 0, err
-	}
-	rows := make([]storage.Record, 0, len(pks))
-	for _, pk := range pks {
-		row, found, err := t.Tree.Search(pk)
-		if err != nil {
-			return nil, 0, err
-		}
-		if !found {
-			return nil, 0, fmt.Errorf("engine: index %q points at missing pk %s", ix.Name, pk)
-		}
-		rows = append(rows, row)
-	}
-	return rows, len(pks), nil
 }

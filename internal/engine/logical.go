@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"fmt"
+
+	"snapdb/internal/engine/exec"
+	"snapdb/internal/sqlparse"
+)
+
+// This file is the first planning stage: lowering a parsed statement
+// into a logical plan. Lowering does every piece of catalog resolution
+// and validation the executor used to do inline — predicate and
+// projection column binding, aggregate checking, ORDER BY resolution,
+// UPDATE assignment validation — and records the outcome instead of
+// acting on it. The second stage (physical.go) turns the logical plan
+// into an operator template.
+//
+// Error *timing* is part of the engine's observable behaviour: the
+// legacy executor reported an unknown WHERE column before touching any
+// page, but reported aggregate/projection/ORDER BY/SET problems only
+// after the scan had run (and had therefore already perturbed the
+// buffer pool). The logical plan preserves that split explicitly:
+// whereErr fires before the scan, deferredErr after it. The
+// leakage-equivalence tests diff the buffer-pool fetch stream across
+// both error classes.
+
+// logicalScan is the WHERE half shared by SELECT, UPDATE, and DELETE:
+// the predicate conjuncts resolved to schema column indices.
+type logicalScan struct {
+	table *Table
+	where sqlparse.Where
+	preds []exec.Pred
+
+	// whereErr reports an unknown predicate column. It is raised before
+	// any page is fetched, exactly as the legacy scan did.
+	whereErr error
+}
+
+// logicalSelect is the lowered form of a SELECT.
+type logicalSelect struct {
+	scan logicalScan
+
+	// Aggregate branch (exactly one select expression with an
+	// aggregate): the legacy executor took it before projection, ORDER
+	// BY, and LIMIT, which it ignored entirely. aggCol is the SUM
+	// column's schema index, -1 for COUNT (which, like the legacy
+	// aggregate, never resolves its argument).
+	agg     bool
+	aggExpr sqlparse.SelectExpr
+	aggCol  int
+
+	// Projection branch.
+	proj     []int
+	sortCol  int // schema column index, -1 for no ORDER BY
+	sortDesc bool
+	limit    int
+
+	// deferredErr is an aggregate, projection, or ORDER BY resolution
+	// failure. The legacy executor hit these only after the scan ran, so
+	// the driver drains the scan subtree first and raises this after.
+	deferredErr error
+}
+
+// setOp is one validated UPDATE assignment.
+type setOp struct {
+	idx int
+	val sqlparse.Value
+}
+
+// logicalMutate is the lowered form of an UPDATE or DELETE: the scan
+// plus, for UPDATE, the validated assignments.
+type logicalMutate struct {
+	scan logicalScan
+	sets []setOp
+
+	// deferredErr is a SET-clause validation failure, raised after the
+	// scan as the legacy executor did.
+	deferredErr error
+}
+
+// lowerScan resolves the WHERE conjuncts against the table schema.
+func lowerScan(t *Table, where sqlparse.Where) logicalScan {
+	ls := logicalScan{table: t, where: where}
+	preds := make([]exec.Pred, len(where))
+	for i, p := range where {
+		idx := t.ColumnIndex(p.Column)
+		if idx < 0 {
+			ls.whereErr = fmt.Errorf("engine: unknown column %q in WHERE", p.Column)
+			return ls
+		}
+		preds[i] = exec.Pred{Col: idx, Op: p.Op, Arg: p.Arg}
+	}
+	ls.preds = preds
+	return ls
+}
+
+// lowerSelect lowers a SELECT against t.
+func lowerSelect(t *Table, st *sqlparse.Select) logicalSelect {
+	lp := logicalSelect{scan: lowerScan(t, st.Where), sortCol: -1, aggCol: -1}
+
+	if len(st.Exprs) == 1 && st.Exprs[0].Agg != sqlparse.AggNone {
+		lp.agg = true
+		lp.aggExpr = st.Exprs[0]
+		switch st.Exprs[0].Agg {
+		case sqlparse.AggCount:
+			// COUNT ignores its argument (even an unknown column), as
+			// the legacy aggregate did.
+		case sqlparse.AggSum:
+			idx := t.ColumnIndex(st.Exprs[0].Column)
+			if idx < 0 {
+				lp.deferredErr = fmt.Errorf("engine: unknown column %q in SUM", st.Exprs[0].Column)
+			} else if t.Columns[idx].Type != sqlparse.TypeInt {
+				lp.deferredErr = fmt.Errorf("engine: SUM over non-INT column %q", st.Exprs[0].Column)
+			} else {
+				lp.aggCol = idx
+			}
+		default:
+			lp.deferredErr = fmt.Errorf("engine: %w", exec.ErrUnsupportedAggregate)
+		}
+		// The aggregate branch ignores ORDER BY and LIMIT, as the legacy
+		// executor did (it returned before looking at them).
+		return lp
+	}
+
+	proj, err := projection(t, st.Exprs)
+	if err != nil {
+		lp.deferredErr = err
+		return lp
+	}
+	lp.proj = proj
+	if st.OrderBy != "" {
+		oidx := t.ColumnIndex(st.OrderBy)
+		if oidx < 0 {
+			lp.deferredErr = fmt.Errorf("engine: unknown ORDER BY column %q", st.OrderBy)
+			return lp
+		}
+		lp.sortCol = oidx
+		lp.sortDesc = st.Desc
+	}
+	lp.limit = st.Limit
+	return lp
+}
+
+// lowerUpdate lowers an UPDATE against t.
+func lowerUpdate(t *Table, st *sqlparse.Update) logicalMutate {
+	lm := logicalMutate{scan: lowerScan(t, st.Where)}
+	sets := make([]setOp, 0, len(st.Set))
+	for _, a := range st.Set {
+		idx := t.ColumnIndex(a.Column)
+		if idx < 0 {
+			lm.deferredErr = fmt.Errorf("engine: unknown column %q in SET", a.Column)
+			return lm
+		}
+		if idx == t.PKIndex {
+			lm.deferredErr = fmt.Errorf("engine: updating the primary key is not supported")
+			return lm
+		}
+		if err := checkType(t.Columns[idx], a.Value); err != nil {
+			lm.deferredErr = err
+			return lm
+		}
+		sets = append(sets, setOp{idx, a.Value})
+	}
+	lm.sets = sets
+	return lm
+}
+
+// lowerDelete lowers a DELETE against t.
+func lowerDelete(t *Table, st *sqlparse.Delete) logicalMutate {
+	return logicalMutate{scan: lowerScan(t, st.Where)}
+}

@@ -1,0 +1,355 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"snapdb/internal/engine/exec"
+	"snapdb/internal/perfschema"
+	"snapdb/internal/sqlparse"
+	"snapdb/internal/storage"
+)
+
+// This file is the second planning stage: turning a logical plan into a
+// physical plan — an immutable operator-tree template. The template
+// fixes the access path (the choice the legacy scan made per execution)
+// and precomputes every operator's EXPLAIN description, so a plan-cache
+// hit skips planning entirely: execution just instantiates fresh
+// operators from the template and pulls.
+
+// accessKind is the chosen scan strategy.
+type accessKind int
+
+const (
+	accessFull accessKind = iota
+	accessPKPoint
+	accessPKRange
+	accessIndex
+)
+
+// physicalPlan is the cached operator-tree template for one statement.
+// It is immutable after construction (plan-cache entries are shared
+// across sessions); all runtime state lives in the operators that
+// instantiate builds per execution.
+type physicalPlan struct {
+	table *Table
+	kind  accessKind
+	// lo/hi are the scan bounds: primary-key values for the PK paths,
+	// encoded composite keys for the secondary-index path.
+	lo, hi sqlparse.Value
+	ix     *SecondaryIndex
+	// path is the legacy access-path label: "full-scan", "pk-range", or
+	// "index:<name>".
+	path string
+	// presize: an unfiltered full scan pre-sizes its buffer from the
+	// table's advisory row hint (read at instantiation time, as the
+	// legacy scan read it per execution).
+	presize bool
+
+	preds       []exec.Pred
+	whereErr    error // raised before the scan runs
+	deferredErr error // raised after the scan drains
+
+	// SELECT shape.
+	agg      bool
+	aggKind  sqlparse.AggKind
+	aggCol   int
+	proj     []int
+	sortCol  int // -1 for none
+	sortDesc bool
+	limit    int
+
+	// UPDATE shape.
+	sets []setOp
+
+	// Precomputed operator descriptions (EXPLAIN and events_stages).
+	dScan, dLookup, dFilter, dSort, dAgg, dProj, dLimit string
+}
+
+// indexesOf snapshots t's secondary-index list under the catalog lock.
+// Plan construction runs outside the statement's table lock, and CREATE
+// INDEX appends to the slice under e.mu; the copy keeps the planner's
+// iteration race-free (a racing DDL bumps the plan epoch, so a stale
+// choice lasts at most one execution).
+func (e *Engine) indexesOf(t *Table) []*SecondaryIndex {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*SecondaryIndex(nil), t.Indexes...)
+}
+
+// buildAccess chooses the access path for a lowered scan and fills the
+// scan-related template fields, replicating the legacy selection order:
+// primary-key bounds first, then the first secondary index (by name)
+// with a bounded predicate, else a full scan.
+func (e *Engine) buildAccess(pp *physicalPlan, ls logicalScan) {
+	t := ls.table
+	pp.table = t
+	pp.preds = ls.preds
+	pp.whereErr = ls.whereErr
+	pkName := t.Columns[t.PKIndex].Name
+	if len(ls.where) > 0 {
+		pp.dFilter = "Filter: " + ls.where.SQL()
+	}
+	if lo, hi, ok := pkBounds(t, ls.where); ok {
+		pp.lo, pp.hi = lo, hi
+		pp.path = "pk-range"
+		if lo.Equal(hi) {
+			pp.kind = accessPKPoint
+			pp.dScan = fmt.Sprintf("Point scan on %s using PRIMARY (%s = %s) (access=pk-range)",
+				t.Name, pkName, lo.SQL())
+		} else {
+			pp.kind = accessPKRange
+			pp.dScan = fmt.Sprintf("Range scan on %s using PRIMARY (%s between %s and %s) (access=pk-range)",
+				t.Name, pkName, lo.SQL(), hi.SQL())
+		}
+		return
+	}
+	if ix, lo, hi, ok := indexBounds(e.indexesOf(t), ls.where); ok {
+		pp.kind = accessIndex
+		pp.ix = ix
+		pp.lo, pp.hi = indexValueBounds(lo, hi)
+		pp.path = "index:" + ix.Name
+		pp.dScan = fmt.Sprintf("Index range scan on %s using %s (%s between %s and %s) (access=index:%s)",
+			t.Name, ix.Name, ix.Column, lo.SQL(), hi.SQL(), ix.Name)
+		pp.dLookup = fmt.Sprintf("Key lookup on %s via %s", t.Name, ix.Name)
+		return
+	}
+	pp.kind = accessFull
+	pp.path = "full-scan"
+	pp.presize = len(ls.where) == 0
+	pp.dScan = fmt.Sprintf("Table scan on %s (access=full-scan)", t.Name)
+}
+
+// buildSelectPlan lowers and templates a SELECT.
+func (e *Engine) buildSelectPlan(t *Table, st *sqlparse.Select) *physicalPlan {
+	lp := lowerSelect(t, st)
+	pp := &physicalPlan{sortCol: -1, aggCol: -1}
+	e.buildAccess(pp, lp.scan)
+	pp.deferredErr = lp.deferredErr
+	if lp.deferredErr != nil {
+		return pp
+	}
+	if lp.agg {
+		pp.agg = true
+		pp.aggKind = lp.aggExpr.Agg
+		pp.aggCol = lp.aggCol
+		pp.dAgg = "Aggregate: " + lp.aggExpr.SQL()
+		return pp
+	}
+	pp.proj = lp.proj
+	cols := make([]string, len(lp.proj))
+	for i, idx := range lp.proj {
+		cols[i] = t.Columns[idx].Name
+	}
+	pp.dProj = "Project: " + strings.Join(cols, ", ")
+	if lp.sortCol >= 0 {
+		pp.sortCol = lp.sortCol
+		pp.sortDesc = lp.sortDesc
+		dir := "ASC"
+		if lp.sortDesc {
+			dir = "DESC"
+		}
+		pp.dSort = fmt.Sprintf("Sort: %s %s", t.Columns[lp.sortCol].Name, dir)
+	}
+	if lp.limit > 0 {
+		pp.limit = lp.limit
+		pp.dLimit = fmt.Sprintf("Limit: %d", lp.limit)
+	}
+	return pp
+}
+
+// buildUpdatePlan lowers and templates an UPDATE's scan half.
+func (e *Engine) buildUpdatePlan(t *Table, st *sqlparse.Update) *physicalPlan {
+	lm := lowerUpdate(t, st)
+	pp := &physicalPlan{sortCol: -1, aggCol: -1}
+	e.buildAccess(pp, lm.scan)
+	pp.deferredErr = lm.deferredErr
+	pp.sets = lm.sets
+	return pp
+}
+
+// buildDeletePlan lowers and templates a DELETE's scan half.
+func (e *Engine) buildDeletePlan(t *Table, st *sqlparse.Delete) *physicalPlan {
+	lm := lowerDelete(t, st)
+	pp := &physicalPlan{sortCol: -1, aggCol: -1}
+	e.buildAccess(pp, lm.scan)
+	return pp
+}
+
+// physSelect returns the statement's physical template, reusing the
+// plan-cache binding when it was resolved against t (epoch invalidation
+// keeps it current), else building fresh.
+func (e *Engine) physSelect(pl *plan, t *Table, st *sqlparse.Select) *physicalPlan {
+	if pl != nil && pl.bind.table == t && pl.bind.phys != nil {
+		return pl.bind.phys
+	}
+	return e.buildSelectPlan(t, st)
+}
+
+// physUpdate is physSelect for UPDATE.
+func (e *Engine) physUpdate(pl *plan, t *Table, st *sqlparse.Update) *physicalPlan {
+	if pl != nil && pl.bind.table == t && pl.bind.phys != nil {
+		return pl.bind.phys
+	}
+	return e.buildUpdatePlan(t, st)
+}
+
+// physDelete is physSelect for DELETE.
+func (e *Engine) physDelete(pl *plan, t *Table, st *sqlparse.Delete) *physicalPlan {
+	if pl != nil && pl.bind.table == t && pl.bind.phys != nil {
+		return pl.bind.phys
+	}
+	return e.buildDeletePlan(t, st)
+}
+
+// opNode is one operator of an instantiated plan with its tree depth.
+type opNode struct {
+	op    exec.Operator
+	depth int
+}
+
+// maxPlanDepth is the deepest operator chain a template can produce:
+// scan + key lookup + filter + sort + project + limit. The fixed
+// buffers below are sized to it so instantiation never allocates for
+// the tree bookkeeping.
+const maxPlanDepth = 6
+
+// planInstance is one execution's operator tree: fresh operators built
+// from the shared template. The operator structs are embedded by value
+// so the whole tree is a single allocation — instantiate wires the
+// interface fields at the embedded storage, initializing only the
+// operators the template calls for. A planInstance must never be
+// copied by value (nodes and the operator inputs point into it).
+type planInstance struct {
+	root  exec.Operator
+	leaf  exec.Operator // the bottom scan; its RowsExamined is the statement's
+	nodes []opNode      // root first, backed by nodeBuf
+
+	fullScan  exec.FullScan
+	pointScan exec.IndexPointScan
+	rangeScan exec.IndexRangeScan
+	lookup    exec.KeyLookup
+	filter    exec.Filter
+	sort      exec.Sort
+	agg       exec.Aggregate
+	proj      exec.Project
+	limit     exec.Limit
+
+	nodeBuf  [maxPlanDepth]opNode
+	stageBuf [maxPlanDepth]perfschema.StageEvent
+}
+
+// instantiate builds fresh operators from the template. fc (may be nil)
+// lets the scan leaves attribute buffer-pool fetches per operator.
+func (pp *physicalPlan) instantiate(fc exec.FetchCounter) *planInstance {
+	t := pp.table
+	pi := &planInstance{}
+	var leaf exec.Operator
+	switch pp.kind {
+	case accessPKPoint:
+		pi.pointScan.Init(t.Tree, pp.lo, pp.dScan, fc)
+		leaf = &pi.pointScan
+	case accessPKRange:
+		pi.rangeScan.Init(t.Tree, pp.lo, pp.hi, pp.dScan, fc)
+		leaf = &pi.rangeScan
+	case accessIndex:
+		pi.rangeScan.Init(pp.ix.Tree, pp.lo, pp.hi, pp.dScan, fc)
+		leaf = &pi.rangeScan
+	default:
+		var hint int64
+		if pp.presize {
+			hint = t.rows.Load()
+		}
+		pi.fullScan.Init(t.Tree, hint, pp.dScan, fc)
+		leaf = &pi.fullScan
+	}
+	root := leaf
+	if pp.kind == accessIndex {
+		pi.lookup.Init(root, t.Tree, pp.ix.Name, pp.dLookup, fc)
+		root = &pi.lookup
+	}
+	if len(pp.preds) > 0 {
+		pi.filter.Init(root, pp.preds, pp.dFilter)
+		root = &pi.filter
+	}
+	// A plan with a deferred resolution error carries only its scan
+	// subtree: the driver drains it (for the legacy fetch sequence) and
+	// then raises the error, so the upper operators never exist.
+	if pp.deferredErr == nil {
+		switch {
+		case pp.agg:
+			pi.agg.Init(root, pp.aggKind, pp.aggCol, pp.dAgg)
+			root = &pi.agg
+		case pp.proj != nil:
+			if pp.sortCol >= 0 {
+				pi.sort.Init(root, pp.sortCol, pp.sortDesc, pp.dSort)
+				root = &pi.sort
+			}
+			pi.proj.Init(root, pp.proj, pp.dProj)
+			root = &pi.proj
+			if pp.limit > 0 {
+				pi.limit.Init(root, pp.limit, pp.dLimit)
+				root = &pi.limit
+			}
+		}
+	}
+	pi.root, pi.leaf = root, leaf
+	pi.nodes = pi.nodeBuf[:0]
+	depth := 0
+	for op := root; op != nil; depth++ {
+		pi.nodes = append(pi.nodes, opNode{op, depth})
+		ch := op.Children()
+		if len(ch) == 0 {
+			break
+		}
+		op = ch[0]
+	}
+	return pi
+}
+
+// drain runs the tree to completion via the Volcano protocol and
+// returns the root's rows.
+func (pi *planInstance) drain() ([]storage.Record, error) {
+	if err := pi.root.Open(); err != nil {
+		_ = pi.root.Close()
+		return nil, err
+	}
+	var rows []storage.Record
+	for {
+		r, ok, err := pi.root.Next()
+		if err != nil {
+			_ = pi.root.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, r)
+	}
+	return rows, pi.root.Close()
+}
+
+// examined returns the scan leaf's rows-examined count — the legacy
+// RowsExamined semantics (index paths count index entries).
+func (pi *planInstance) examined() int { return pi.leaf.Stats().RowsExamined }
+
+// stages snapshots every operator's runtime counters for the
+// events_stages surface, root first. Thread/timestamp/digest are
+// stamped by perfschema.AddStages. The returned slice is backed by the
+// instance's stageBuf — AddStages copies the group into the history
+// ring, so the ring never aliases (or retains) the planInstance.
+func (pi *planInstance) stages() []perfschema.StageEvent {
+	out := pi.stageBuf[:len(pi.nodes)]
+	for i, n := range pi.nodes {
+		st := n.op.Stats()
+		out[i] = perfschema.StageEvent{
+			Seq:          i,
+			Depth:        n.depth,
+			Operator:     n.op.Describe(),
+			RowsExamined: st.RowsExamined,
+			RowsReturned: st.RowsReturned,
+			PoolFetches:  st.PoolFetches,
+		}
+	}
+	return out
+}

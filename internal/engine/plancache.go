@@ -59,17 +59,17 @@ type plan struct {
 
 // planBindings carries the catalog resolution work a plan can reuse
 // across executions. Tables are never dropped or altered, so a resolved
-// *Table pointer and schema column indices stay valid for the life of
-// the process; they are still epoch-guarded like the rest of the entry.
+// *Table pointer stays valid for the life of the process; it is still
+// epoch-guarded like the rest of the entry.
 type planBindings struct {
 	table *Table
-	// For SELECT only: WHERE predicate column indices and projection
-	// column indices, resolved against the table schema. nil when the
-	// statement has no such clause, resolution failed (the execution
-	// path re-resolves and reports the error), or the statement kind
-	// does not use them.
-	whereIdx []int
-	proj     []int
+	// phys is the resolved physical operator-tree template for SELECT,
+	// UPDATE, and DELETE statements (see physical.go). A plan-cache hit
+	// reuses it directly — no planning work at all on the hot path; the
+	// template is immutable and execution instantiates fresh operators
+	// from it. nil when the table could not be resolved or the statement
+	// kind has no scan.
+	phys *physicalPlan
 }
 
 func newPlanCache(entries int) *planCache {
@@ -231,76 +231,40 @@ func (e *Engine) planFor(query string) (*plan, error) {
 }
 
 // bindPlan resolves what the statement's execution will need from the
-// catalog, where that resolution is reusable. Anything that fails to
-// resolve is left unbound; execution re-resolves and produces the same
-// error it always did.
+// catalog, where that resolution is reusable: the table, and for the
+// scanning statement kinds the full physical plan template. Resolution
+// failures (unknown table) leave the binding empty; execution
+// re-resolves and produces the same error it always did. Unknown
+// columns and the like are *captured* by the template as whereErr or
+// deferredErr rather than failing the bind, so the error fires at the
+// same point in execution it always did.
 func (e *Engine) bindPlan(stmt sqlparse.Statement) planBindings {
 	var b planBindings
-	tableName := ""
 	switch st := stmt.(type) {
 	case *sqlparse.Select:
 		if isSystemTable(st.Table) {
 			return b
 		}
-		tableName = st.Table
-	case *sqlparse.Insert:
-		tableName = st.Table
+		if t, ok := e.Table(st.Table); ok {
+			b.table = t
+			b.phys = e.buildSelectPlan(t, st)
+		}
 	case *sqlparse.Update:
-		tableName = st.Table
+		if t, ok := e.Table(st.Table); ok {
+			b.table = t
+			b.phys = e.buildUpdatePlan(t, st)
+		}
 	case *sqlparse.Delete:
-		tableName = st.Table
-	default:
-		return b
-	}
-	t, ok := e.Table(tableName)
-	if !ok {
-		return b
-	}
-	b.table = t
-	if st, ok := stmt.(*sqlparse.Select); ok {
-		if idx, ok := resolveWhere(t, st.Where); ok {
-			b.whereIdx = idx
+		if t, ok := e.Table(st.Table); ok {
+			b.table = t
+			b.phys = e.buildDeletePlan(t, st)
 		}
-		hasAgg := false
-		for _, ex := range st.Exprs {
-			if ex.Agg != sqlparse.AggNone {
-				hasAgg = true
-				break
-			}
-		}
-		if !hasAgg {
-			if proj, err := projection(t, st.Exprs); err == nil {
-				b.proj = proj
-			}
+	case *sqlparse.Insert:
+		if t, ok := e.Table(st.Table); ok {
+			b.table = t
 		}
 	}
 	return b
-}
-
-// resolveWhere maps WHERE predicate columns to schema indices; ok is
-// false if any column is unknown.
-func resolveWhere(t *Table, where sqlparse.Where) ([]int, bool) {
-	if len(where) == 0 {
-		return nil, false
-	}
-	idx := make([]int, len(where))
-	for i, p := range where {
-		ci := t.ColumnIndex(p.Column)
-		if ci < 0 {
-			return nil, false
-		}
-		idx[i] = ci
-	}
-	return idx, true
-}
-
-// projFor returns the plan's bound projection when it was resolved
-// against t, else nil.
-func (pl *plan) projFor(t *Table) []int {
-	if pl == nil || pl.bind.table != t {
-		return nil
-	}
-	return pl.bind.proj
 }
 
 // planTable returns the plan's bound table when available, falling back

@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+
+	"snapdb/internal/storage"
 )
 
 func TestPlanCacheHitsOnRepeat(t *testing.T) {
@@ -183,12 +185,18 @@ type forensicState struct {
 	digests    []string
 	history    []string
 	current    []string
+	stages     []string
 	arena      []byte
 	statements uint64
 }
 
 func captureForensics(e *Engine) forensicState {
 	var fs forensicState
+	for _, ev := range e.PerfSchema().StagesHistory() {
+		fs.stages = append(fs.stages, fmt.Sprintf("%d|%d|%s|%d|%d|%s|%d|%d|%d",
+			ev.Thread, ev.Timestamp, ev.Digest, ev.Seq, ev.Depth, ev.Operator,
+			ev.RowsExamined, ev.RowsReturned, ev.PoolFetches))
+	}
 	for _, en := range e.GeneralLog().Entries() {
 		fs.general = append(fs.general, fmt.Sprintf("%d|%d|%s", en.Timestamp, en.Session, en.Statement))
 	}
@@ -243,13 +251,20 @@ func TestPlanCacheLeakageEquivalence(t *testing.T) {
 		"SELECT id FROM accounts WHERE owner = 'bob'",
 		"DELETE FROM accounts WHERE id = 2",
 		"SELECT COUNT(*) FROM accounts",
+		"SELECT owner FROM accounts ORDER BY balance DESC LIMIT 1",
+		"SELECT owner FROM accounts ORDER BY balance DESC LIMIT 1", // hit on ORDER BY/LIMIT
+		"SELECT SUM(balance) FROM accounts WHERE id >= 1 AND id <= 3",
+		"EXPLAIN SELECT id FROM accounts WHERE owner = 'alice'",
+		"EXPLAIN SELECT id FROM accounts WHERE owner = 'alice'", // hit on EXPLAIN
 	}
 
-	run := func(disable bool) forensicState {
+	run := func(disable bool) (forensicState, []storage.PageID) {
 		cfg := Defaults()
 		cfg.DisablePlanCache = disable
 		cfg.EnableGeneralLog = true
 		e, now := newEngine(t, cfg)
+		var trace []storage.PageID
+		e.BufferPool().SetTraceFunc(func(id storage.PageID) { trace = append(trace, id) })
 		s := e.Connect("victim")
 		defer s.Close()
 		for _, q := range workload {
@@ -258,12 +273,16 @@ func TestPlanCacheLeakageEquivalence(t *testing.T) {
 			_ = res
 			_ = err // errors are part of the workload
 		}
-		return captureForensics(e)
+		return captureForensics(e), trace
 	}
 
-	withCache := run(false)
-	without := run(true)
+	withCache, traceOn := run(false)
+	without, traceOff := run(true)
 
+	if !reflect.DeepEqual(traceOn, traceOff) {
+		t.Errorf("buffer-pool fetch sequences differ with plan cache on vs off: %d vs %d fetches",
+			len(traceOn), len(traceOff))
+	}
 	for _, cmp := range []struct {
 		name string
 		a, b []string
@@ -273,6 +292,7 @@ func TestPlanCacheLeakageEquivalence(t *testing.T) {
 		{"digest summary", withCache.digests, without.digests},
 		{"statement history", withCache.history, without.history},
 		{"statements current", withCache.current, without.current},
+		{"stages history", withCache.stages, without.stages},
 	} {
 		if !reflect.DeepEqual(cmp.a, cmp.b) {
 			t.Errorf("%s differs with plan cache on vs off:\n  on:  %v\n  off: %v", cmp.name, cmp.a, cmp.b)

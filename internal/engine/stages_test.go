@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// The stage-event surface end to end: executing a statement must leave
+// one stage row per plan operator, joinable to the statement tables by
+// digest, with the per-operator counters reflecting what the scan did —
+// and the rows must be reachable through SQL like every other
+// performance_schema table.
+func TestStagesRecordedPerOperator(t *testing.T) {
+	e, _ := newEngine(t, Defaults())
+	s := e.Connect("app")
+	defer s.Close()
+	setupCustomers(t, s, 20)
+
+	e.PerfSchema().Reset()
+	res := mustExec(t, s, "SELECT name FROM customers WHERE age >= 30 ORDER BY age LIMIT 4")
+
+	evs := e.PerfSchema().StagesHistory()
+	// Plan: Limit -> Project -> Sort -> Filter -> Table scan.
+	if len(evs) != 5 {
+		t.Fatalf("recorded %d stage events, want 5: %+v", len(evs), evs)
+	}
+	wantOps := []string{"Limit:", "Project:", "Sort:", "Filter:", "Table scan"}
+	for i, ev := range evs {
+		if !strings.Contains(ev.Operator, wantOps[i]) {
+			t.Errorf("stage %d operator = %q, want containing %q", i, ev.Operator, wantOps[i])
+		}
+		if ev.Seq != i || ev.Depth != i {
+			t.Errorf("stage %d seq/depth = %d/%d, want %d/%d", i, ev.Seq, ev.Depth, i, i)
+		}
+		if ev.Digest == "" {
+			t.Errorf("stage %d has no digest", i)
+		}
+	}
+	scan := evs[4]
+	if scan.RowsExamined != 20 {
+		t.Errorf("scan examined %d rows, want 20", scan.RowsExamined)
+	}
+	if scan.PoolFetches == 0 {
+		t.Error("scan attributed no buffer-pool fetches")
+	}
+	limit := evs[0]
+	if limit.RowsReturned != len(res.Rows) || limit.RowsReturned != 4 {
+		t.Errorf("limit returned %d rows, want 4", limit.RowsReturned)
+	}
+
+	// The same events through the SQL surface.
+	sys := mustExec(t, s, "SELECT * FROM performance_schema.events_stages_history")
+	if len(sys.Columns) != 9 || sys.Columns[5] != "operator" {
+		t.Fatalf("stage table columns = %v", sys.Columns)
+	}
+	if len(sys.Rows) != 5 {
+		t.Fatalf("stage table has %d rows, want 5", len(sys.Rows))
+	}
+	if got := sys.Rows[4][5].Str; !strings.Contains(got, "Table scan") {
+		t.Errorf("row 4 operator = %q", got)
+	}
+}
+
+// A query-cache hit skips execution entirely, so it must record no
+// stage events; failed statements record none either.
+func TestStagesSkippedOnCacheHitAndError(t *testing.T) {
+	e, _ := newEngine(t, Defaults())
+	s := e.Connect("app")
+	defer s.Close()
+	setupCustomers(t, s, 10)
+
+	const q = "SELECT name FROM customers WHERE id = 3"
+	mustExec(t, s, q)
+	e.PerfSchema().Reset()
+
+	res := mustExec(t, s, q)
+	if !res.FromCache {
+		t.Fatal("expected a query-cache hit")
+	}
+	if n := len(e.PerfSchema().StagesHistory()); n != 0 {
+		t.Errorf("cache hit recorded %d stage events", n)
+	}
+
+	if _, err := s.Execute("SELECT nosuch FROM customers"); err == nil {
+		t.Fatal("expected error")
+	}
+	if n := len(e.PerfSchema().StagesHistory()); n != 0 {
+		t.Errorf("failed statement recorded %d stage events", n)
+	}
+}
+
+// Mutations profile their scan subtree too.
+func TestStagesForUpdateAndDelete(t *testing.T) {
+	e, _ := newEngine(t, Defaults())
+	s := e.Connect("app")
+	defer s.Close()
+	setupCustomers(t, s, 10)
+	e.PerfSchema().Reset()
+
+	mustExec(t, s, "UPDATE customers SET age = 99 WHERE id = 4")
+	evs := e.PerfSchema().StagesHistory()
+	if len(evs) == 0 {
+		t.Fatal("UPDATE recorded no stage events")
+	}
+	leaf := evs[len(evs)-1]
+	if !strings.Contains(leaf.Operator, "Point scan") || leaf.RowsExamined != 1 {
+		t.Errorf("UPDATE leaf stage = %+v, want point scan examining 1 row", leaf)
+	}
+}

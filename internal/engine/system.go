@@ -47,6 +47,22 @@ func (e *Engine) systemSelect(st *sqlparse.Select) (*Result, bool) {
 			out.Rows = append(out.Rows, statementEventRow(ev))
 		}
 		return out, true
+	case "performance_schema.events_stages_history":
+		out := &Result{Columns: []string{"thread", "timestamp", "digest", "seq", "depth", "operator", "rows_examined", "rows_returned", "pool_fetches"}}
+		for _, ev := range e.perf.StagesHistory() {
+			out.Rows = append(out.Rows, storage.Record{
+				sqlparse.IntValue(int64(ev.Thread)),
+				sqlparse.IntValue(ev.Timestamp),
+				sqlparse.StrValue(ev.Digest),
+				sqlparse.IntValue(int64(ev.Seq)),
+				sqlparse.IntValue(int64(ev.Depth)),
+				sqlparse.StrValue(ev.Operator),
+				sqlparse.IntValue(int64(ev.RowsExamined)),
+				sqlparse.IntValue(int64(ev.RowsReturned)),
+				sqlparse.IntValue(int64(ev.PoolFetches)),
+			})
+		}
+		return out, true
 	case "performance_schema.events_statements_summary_by_digest":
 		out := &Result{Columns: []string{"digest", "digest_text", "count_star", "sum_rows_examined", "sum_rows_sent", "first_seen", "last_seen"}}
 		for _, row := range e.perf.DigestSummary() {

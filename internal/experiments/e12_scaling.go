@@ -10,13 +10,18 @@ import (
 	"snapdb/internal/workload"
 )
 
-// E12Row is one concurrency level of the scaling table.
+// E12Row is one concurrency level of the scaling table. Examined and
+// Returned aggregate the executor's per-statement scan counters (the
+// same figures events_stages_history records per operator), tying the
+// throughput numbers to the rows each level actually touched.
 type E12Row struct {
 	Goroutines int
 	PerSecond  float64
 	Speedup    float64 // vs the 1-goroutine row
 	WALFlushes uint64  // group-commit flushes absorbed at this level
 	Writes     int
+	Examined   int64
+	Returned   int64
 }
 
 // E12ClientRow is one client-protocol configuration: the same workload
@@ -48,7 +53,7 @@ func (*E12Result) Name() string { return "E12" }
 
 // Render implements Result.
 func (r *E12Result) Render() string {
-	t := &table{header: []string{"goroutines", "stmts/sec", "speedup", "wal flushes", "writes"}}
+	t := &table{header: []string{"goroutines", "stmts/sec", "speedup", "wal flushes", "writes", "rows examined", "rows returned"}}
 	for _, row := range r.Rows {
 		t.add(
 			fmt.Sprintf("%d", row.Goroutines),
@@ -56,6 +61,8 @@ func (r *E12Result) Render() string {
 			fmt.Sprintf("%.2fx", row.Speedup),
 			fmt.Sprintf("%d", row.WALFlushes),
 			fmt.Sprintf("%d", row.Writes),
+			fmt.Sprintf("%d", row.Examined),
+			fmt.Sprintf("%d", row.Returned),
 		)
 	}
 	out := fmt.Sprintf(
@@ -125,6 +132,8 @@ func E12Scaling(quick bool) (*E12Result, error) {
 			Speedup:    res.PerSecond / base,
 			WALFlushes: flushes,
 			Writes:     res.Writes,
+			Examined:   res.RowsExamined,
+			Returned:   res.RowsReturned,
 		})
 	}
 

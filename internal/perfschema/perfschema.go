@@ -51,6 +51,7 @@ type Schema struct {
 	historySize int
 	current     map[int]*StatementEvent
 	history     map[int][]StatementEvent // per thread, oldest first, capped
+	stages      map[int][][]StageEvent   // per thread, one group per statement, oldest first, capped
 	digests     map[string]*DigestRow
 }
 
@@ -64,6 +65,7 @@ func New(historySize int) *Schema {
 		historySize: historySize,
 		current:     make(map[int]*StatementEvent),
 		history:     make(map[int][]StatementEvent),
+		stages:      make(map[int][][]StageEvent),
 		digests:     make(map[string]*DigestRow),
 	}
 }
@@ -179,6 +181,7 @@ func (s *Schema) Reset() {
 	defer s.mu.Unlock()
 	s.current = make(map[int]*StatementEvent)
 	s.history = make(map[int][]StatementEvent)
+	s.stages = make(map[int][][]StageEvent)
 	s.digests = make(map[string]*DigestRow)
 }
 

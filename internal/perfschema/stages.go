@@ -1,0 +1,68 @@
+package perfschema
+
+import "sort"
+
+// StageEvent is one row of events_stages_history: the runtime counters
+// of a single plan operator from one executed statement. Where the
+// statement tables leak what ran, the stage table leaks how it ran —
+// which access path the planner chose and how many rows and buffer-pool
+// pages each operator touched, a per-statement profile of the B+ tree
+// regions the query visited.
+type StageEvent struct {
+	Thread    int
+	Timestamp int64  // UNIX seconds at statement start
+	Digest    string // statement digest hash, joining back to the statement tables
+	Seq       int    // operator position, 0 = plan root
+	Depth     int    // depth in the operator tree (chain: equals Seq)
+	Operator  string // operator description as EXPLAIN renders it
+
+	RowsExamined int
+	RowsReturned int
+	PoolFetches  uint64
+}
+
+// AddStages records the operator profile of one completed statement for
+// thread: evs arrive in plan order (root first) with Seq/Depth and the
+// counters filled in; Thread, Timestamp, and Digest are stamped here.
+// The per-thread ring keeps the stage groups of the last historySize
+// statements, mirroring events_statements_history.
+func (s *Schema) AddStages(thread int, ts int64, digest string, evs []StageEvent) {
+	if len(evs) == 0 {
+		return
+	}
+	group := make([]StageEvent, len(evs))
+	for i, ev := range evs {
+		ev.Thread = thread
+		ev.Timestamp = ts
+		ev.Digest = digest
+		group[i] = ev
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := append(s.stages[thread], group)
+	if len(h) > s.historySize {
+		h = h[len(h)-s.historySize:]
+	}
+	s.stages[thread] = h
+}
+
+// StagesHistory returns events_stages_history: the operator profiles of
+// every thread's recent statements, threads in ascending id order, each
+// thread's statements oldest first, each statement's operators in plan
+// order.
+func (s *Schema) StagesHistory() []StageEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	threads := make([]int, 0, len(s.stages))
+	for th := range s.stages {
+		threads = append(threads, th)
+	}
+	sort.Ints(threads)
+	var out []StageEvent
+	for _, th := range threads {
+		for _, group := range s.stages[th] {
+			out = append(out, group...)
+		}
+	}
+	return out
+}

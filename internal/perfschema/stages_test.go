@@ -1,0 +1,77 @@
+package perfschema
+
+import (
+	"fmt"
+	"testing"
+)
+
+func stageGroup(op string, n int) []StageEvent {
+	evs := make([]StageEvent, n)
+	for i := range evs {
+		evs[i] = StageEvent{Seq: i, Depth: i, Operator: fmt.Sprintf("%s-%d", op, i)}
+	}
+	return evs
+}
+
+func TestAddStagesStampsAndOrders(t *testing.T) {
+	s := New(10)
+	s.AddStages(7, 111, "d1", stageGroup("scan", 2))
+	s.AddStages(7, 222, "d2", stageGroup("filter", 3))
+	s.AddStages(3, 333, "d3", stageGroup("agg", 1))
+
+	hist := s.StagesHistory()
+	if len(hist) != 6 {
+		t.Fatalf("history has %d events, want 6", len(hist))
+	}
+	// Threads ascending, then statement groups oldest-first, then seq.
+	wantThreads := []int{3, 7, 7, 7, 7, 7}
+	wantTs := []int64{333, 111, 111, 222, 222, 222}
+	for i, ev := range hist {
+		if ev.Thread != wantThreads[i] || ev.Timestamp != wantTs[i] {
+			t.Errorf("event %d: thread=%d ts=%d, want thread=%d ts=%d",
+				i, ev.Thread, ev.Timestamp, wantThreads[i], wantTs[i])
+		}
+	}
+	if hist[0].Digest != "d3" || hist[1].Digest != "d1" || hist[3].Digest != "d2" {
+		t.Errorf("digest stamping wrong: %+v", hist)
+	}
+	wantSeq := []int{0, 0, 1, 0, 1, 2} // seq restarts per statement group
+	for i, ev := range hist {
+		if ev.Seq != wantSeq[i] {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, wantSeq[i])
+		}
+	}
+}
+
+func TestAddStagesRingTrim(t *testing.T) {
+	s := New(3) // historySize = 3 statement groups per thread
+	for i := 0; i < 5; i++ {
+		s.AddStages(1, int64(i), fmt.Sprintf("d%d", i), stageGroup("op", 1))
+	}
+	hist := s.StagesHistory()
+	if len(hist) != 3 {
+		t.Fatalf("history has %d events, want 3 (trimmed to ring size)", len(hist))
+	}
+	for i, wantTs := range []int64{2, 3, 4} {
+		if hist[i].Timestamp != wantTs {
+			t.Errorf("event %d ts = %d, want %d (oldest groups evicted)", i, hist[i].Timestamp, wantTs)
+		}
+	}
+}
+
+func TestAddStagesEmptyGroupIgnored(t *testing.T) {
+	s := New(4)
+	s.AddStages(1, 1, "d", nil)
+	if n := len(s.StagesHistory()); n != 0 {
+		t.Errorf("empty group produced %d events", n)
+	}
+}
+
+func TestResetClearsStages(t *testing.T) {
+	s := New(4)
+	s.AddStages(1, 1, "d", stageGroup("op", 2))
+	s.Reset()
+	if n := len(s.StagesHistory()); n != 0 {
+		t.Errorf("Reset left %d stage events", n)
+	}
+}

@@ -1,0 +1,72 @@
+package server_test
+
+import (
+	"strings"
+	"testing"
+
+	"snapdb/internal/client"
+)
+
+// EXPLAIN end to end over the wire: the rendered operator tree comes
+// back as rows, the leaf names its access path, and the OK header's
+// rows-examined counter reports what ordinary statements scanned.
+func TestExplainOverTCP(t *testing.T) {
+	addr, _, stop := startServer(t)
+	defer stop()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	setup := []string{
+		"CREATE TABLE t (id INT PRIMARY KEY, name TEXT, score INT)",
+		"INSERT INTO t (id, name, score) VALUES (1, 'a', 10), (2, 'b', 20), (3, 'c', 30)",
+		"CREATE INDEX idx_score ON t (score)",
+	}
+	for _, q := range setup {
+		if _, err := c.Execute(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+
+	lines, err := c.Explain("SELECT name FROM t WHERE score = 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := strings.Join(lines, "\n")
+	for _, want := range []string{"Key lookup on t via idx_score", "access=index:idx_score"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+
+	lines, err = c.Explain("SELECT * FROM t WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 || !strings.Contains(lines[len(lines)-1], "Point scan on t using PRIMARY") {
+		t.Errorf("point-scan plan = %v", lines)
+	}
+
+	if _, err := c.Explain("SELECT * FROM missing"); err == nil {
+		t.Error("EXPLAIN of a missing table did not error")
+	}
+
+	// The examined counter rides the OK header: a full scan over three
+	// rows reports 3 examined, a point select reports 1.
+	res, err := c.Execute("SELECT * FROM t WHERE score > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsExamined != 3 {
+		t.Errorf("full scan examined = %d, want 3", res.RowsExamined)
+	}
+	res, err = c.Execute("SELECT * FROM t WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsExamined != 1 {
+		t.Errorf("point select examined = %d, want 1", res.RowsExamined)
+	}
+}

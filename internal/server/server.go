@@ -8,9 +8,12 @@
 //
 //	client → server:  one SQL statement per line
 //	server → client:  ERR <escaped message>
-//	               |  OK <nrows> <affected> <fromcache>
+//	               |  OK <nrows> <affected> <fromcache> <examined>
 //	                  [COLS <name>\t<name>...]      when nrows > 0
 //	                  <value>\t<value>...           × nrows
+//
+// <examined> is the statement's rows-examined counter (scan-leaf rows
+// or index entries inspected), the same figure perfschema records.
 //
 // Values are typed: "i:<decimal>" for INT, "s:<escaped>" for TEXT,
 // with \\, \t, \n, \r escaped inside strings. ERR payloads use the
@@ -238,7 +241,7 @@ func safeExecute(sess *engine.Session, line string) (res *engine.Result, err err
 }
 
 // writeInt writes n in decimal without the fmt machinery — the reply
-// header costs three of these per statement. Appending into the
+// header costs four of these per statement. Appending into the
 // writer's own buffer keeps the digits off the heap.
 func writeInt(w *bufio.Writer, n int64) {
 	w.Write(strconv.AppendInt(w.AvailableBuffer(), n, 10))
@@ -255,6 +258,8 @@ func writeResult(w *bufio.Writer, res *engine.Result) {
 	writeInt(w, int64(res.RowsAffected))
 	w.WriteByte(' ')
 	writeInt(w, fromCache)
+	w.WriteByte(' ')
+	writeInt(w, int64(res.RowsExamined))
 	w.WriteByte('\n')
 	if len(res.Rows) == 0 {
 		return

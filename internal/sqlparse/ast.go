@@ -347,6 +347,17 @@ func (t *TxnControl) SQL() string {
 	}
 }
 
+// Explain is an EXPLAIN statement: render the execution plan of the
+// wrapped statement without running it.
+type Explain struct {
+	Stmt Statement
+}
+
+func (*Explain) stmt() {}
+
+// SQL renders the statement.
+func (e *Explain) SQL() string { return "EXPLAIN " + e.Stmt.SQL() }
+
 // Delete is a DELETE statement.
 type Delete struct {
 	Table string

@@ -1,0 +1,50 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseExplain exercises the EXPLAIN path of the parser: whatever
+// the payload, Parse must not panic, and any statement that parses
+// must render SQL text that re-parses to the same rendering (the
+// canonical-SQL fixed point the plan cache keys on).
+func FuzzParseExplain(f *testing.F) {
+	f.Add("EXPLAIN SELECT * FROM t")
+	f.Add("EXPLAIN SELECT id, name FROM users WHERE id = 1")
+	f.Add("explain select count(*) from t where age >= 10 and age <= 20")
+	f.Add("EXPLAIN UPDATE t SET a = 1 WHERE id = 2")
+	f.Add("EXPLAIN DELETE FROM t WHERE id = 3")
+	f.Add("EXPLAIN SELECT * FROM t ORDER BY a DESC LIMIT 5")
+	f.Add("EXPLAIN EXPLAIN SELECT * FROM t")
+	f.Add("EXPLAIN INSERT INTO t (a) VALUES (1)")
+	f.Add("EXPLAIN BEGIN")
+	f.Add("EXPLAIN")
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse("EXPLAIN " + src)
+		if err != nil {
+			return
+		}
+		ex, ok := stmt.(*Explain)
+		if !ok {
+			t.Fatalf("EXPLAIN %q parsed to %T, want *Explain", src, stmt)
+		}
+		if ex.Stmt == nil {
+			t.Fatalf("EXPLAIN %q parsed with nil inner statement", src)
+		}
+		if _, nested := ex.Stmt.(*Explain); nested {
+			t.Fatalf("EXPLAIN %q parsed with nested EXPLAIN", src)
+		}
+		sql := stmt.SQL()
+		if !strings.HasPrefix(sql, "EXPLAIN ") {
+			t.Fatalf("rendering of EXPLAIN %q lost the keyword: %q", src, sql)
+		}
+		again, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("re-parse of rendered %q failed: %v", sql, err)
+		}
+		if again.SQL() != sql {
+			t.Fatalf("rendering not a fixed point: %q -> %q", sql, again.SQL())
+		}
+	})
+}

@@ -1,9 +1,15 @@
 package sqlparse
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 )
+
+// ErrUnknownFunction reports a function call in a SELECT list that is
+// not one of the supported aggregates. It is typed so callers (and the
+// parser-rejection tests) can match it with errors.Is.
+var ErrUnknownFunction = errors.New("sqlparse: unknown function")
 
 // Parser is a recursive-descent parser over the token stream.
 type Parser struct {
@@ -92,9 +98,24 @@ func (p *Parser) parseStatement() (Statement, error) {
 	case "ROLLBACK":
 		p.next()
 		return &TxnControl{Op: TxnRollback}, nil
+	case "EXPLAIN":
+		return p.parseExplain()
 	default:
 		return nil, fmt.Errorf("sqlparse: unsupported statement %q", t.Text)
 	}
+}
+
+// parseExplain parses EXPLAIN <statement>. EXPLAIN does not nest.
+func (p *Parser) parseExplain() (Statement, error) {
+	p.next() // EXPLAIN
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == "EXPLAIN" {
+		return nil, fmt.Errorf("sqlparse: EXPLAIN cannot be nested (offset %d)", t.Pos)
+	}
+	inner, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	return &Explain{Stmt: inner}, nil
 }
 
 func (p *Parser) parseCreate() (Statement, error) {
@@ -284,6 +305,13 @@ func (p *Parser) parseSelectExpr() (SelectExpr, error) {
 	col, err := p.expectIdent()
 	if err != nil {
 		return SelectExpr{}, err
+	}
+	// An identifier followed by '(' is a function call we don't
+	// implement: reject it here with a typed error instead of failing
+	// later with a misleading "expected FROM".
+	if nt := p.peek(); nt.Kind == TokSymbol && nt.Text == "(" {
+		return SelectExpr{}, fmt.Errorf("%w %q at offset %d (supported aggregates: COUNT, SUM)",
+			ErrUnknownFunction, col, t.Pos)
 	}
 	return SelectExpr{Column: col}, nil
 }

@@ -1,6 +1,7 @@
 package sqlparse
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -327,5 +328,61 @@ func BenchmarkDigest(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Digest(src)
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	stmt := mustParse(t, "EXPLAIN SELECT name FROM customers WHERE age >= 25 ORDER BY age DESC LIMIT 3")
+	ex, ok := stmt.(*Explain)
+	if !ok {
+		t.Fatalf("got %T, want *Explain", stmt)
+	}
+	sel, ok := ex.Stmt.(*Select)
+	if !ok {
+		t.Fatalf("inner statement is %T, want *Select", ex.Stmt)
+	}
+	if sel.Table != "customers" || sel.OrderBy != "age" || !sel.Desc || sel.Limit != 3 {
+		t.Errorf("inner select misparsed: %+v", sel)
+	}
+	want := "EXPLAIN SELECT name FROM customers WHERE age >= 25 ORDER BY age DESC LIMIT 3"
+	if got := ex.SQL(); got != want {
+		t.Errorf("SQL() = %q, want %q", got, want)
+	}
+}
+
+func TestParseExplainUpdateDelete(t *testing.T) {
+	if _, ok := mustParse(t, "EXPLAIN UPDATE t SET a = 1 WHERE id = 2").(*Explain); !ok {
+		t.Error("EXPLAIN UPDATE did not parse to *Explain")
+	}
+	if _, ok := mustParse(t, "EXPLAIN DELETE FROM t WHERE id = 2").(*Explain); !ok {
+		t.Error("EXPLAIN DELETE did not parse to *Explain")
+	}
+}
+
+func TestParseExplainErrors(t *testing.T) {
+	for _, src := range []string{
+		"EXPLAIN",
+		"EXPLAIN EXPLAIN SELECT * FROM t",
+		"EXPLAIN 42",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseUnknownFunctionRejected(t *testing.T) {
+	for _, src := range []string{
+		"SELECT AVG(age) FROM customers",
+		"SELECT min(age) FROM customers",
+		"SELECT name, MAX(age) FROM customers",
+	} {
+		_, err := Parse(src)
+		if err == nil {
+			t.Fatalf("Parse(%q) succeeded, want ErrUnknownFunction", src)
+		}
+		if !errors.Is(err, ErrUnknownFunction) {
+			t.Errorf("Parse(%q) error %v does not wrap ErrUnknownFunction", src, err)
+		}
 	}
 }

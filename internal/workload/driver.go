@@ -41,13 +41,18 @@ func (c DriverConfig) normalized() DriverConfig {
 	return c
 }
 
-// DriverResult is one run's outcome.
+// DriverResult is one run's outcome. RowsExamined and RowsReturned
+// aggregate the engine's per-statement scan counters across the whole
+// run — E12 reports them so the scaling table also shows the work each
+// access path did, not just the statement rate.
 type DriverResult struct {
-	Statements int
-	Reads      int
-	Writes     int
-	Duration   time.Duration
-	PerSecond  float64
+	Statements   int
+	Reads        int
+	Writes       int
+	RowsExamined int64
+	RowsReturned int64
+	Duration     time.Duration
+	PerSecond    float64
 }
 
 // DriverTableName names the driver's i-th table.
@@ -155,6 +160,8 @@ func RunDriver(e *engine.Engine, cfg DriverConfig) (*DriverResult, error) {
 	errs := make(chan error, cfg.Goroutines)
 	reads := make([]int, cfg.Goroutines)
 	writes := make([]int, cfg.Goroutines)
+	examined := make([]int64, cfg.Goroutines)
+	returned := make([]int64, cfg.Goroutines)
 	start := time.Now()
 	for g := 0; g < cfg.Goroutines; g++ {
 		wg.Add(1)
@@ -170,10 +177,13 @@ func RunDriver(e *engine.Engine, cfg DriverConfig) (*DriverResult, error) {
 				} else {
 					reads[g]++
 				}
-				if _, err := s.Execute(q); err != nil {
+				res, err := s.Execute(q)
+				if err != nil {
 					errs <- fmt.Errorf("workload: driver goroutine %d: %s: %w", g, q, err)
 					return
 				}
+				examined[g] += int64(res.RowsExamined)
+				returned[g] += int64(len(res.Rows))
 			}
 		}(g)
 	}
@@ -187,6 +197,8 @@ func RunDriver(e *engine.Engine, cfg DriverConfig) (*DriverResult, error) {
 	for g := 0; g < cfg.Goroutines; g++ {
 		res.Reads += reads[g]
 		res.Writes += writes[g]
+		res.RowsExamined += examined[g]
+		res.RowsReturned += returned[g]
 	}
 	res.Statements = res.Reads + res.Writes
 	if secs := res.Duration.Seconds(); secs > 0 {
@@ -223,6 +235,8 @@ func RunDriverRemote(cfg RemoteDriverConfig) (*DriverResult, error) {
 	errs := make(chan error, dcfg.Goroutines)
 	reads := make([]int, dcfg.Goroutines)
 	writes := make([]int, dcfg.Goroutines)
+	examined := make([]int64, dcfg.Goroutines)
+	returned := make([]int64, dcfg.Goroutines)
 	start := time.Now()
 	for g := 0; g < dcfg.Goroutines; g++ {
 		wg.Add(1)
@@ -248,6 +262,8 @@ func RunDriverRemote(cfg RemoteDriverConfig) (*DriverResult, error) {
 					if br.Err != nil {
 						return fmt.Errorf("%s: %w", batch[i], br.Err)
 					}
+					examined[g] += int64(br.Result.RowsExamined)
+					returned[g] += int64(len(br.Result.Rows))
 				}
 				batch = batch[:0]
 				return nil
@@ -269,10 +285,13 @@ func RunDriverRemote(cfg RemoteDriverConfig) (*DriverResult, error) {
 					}
 					continue
 				}
-				if _, err := conn.Execute(q); err != nil {
+				res, err := conn.Execute(q)
+				if err != nil {
 					errs <- fmt.Errorf("workload: driver goroutine %d: %s: %w", g, q, err)
 					return
 				}
+				examined[g] += int64(res.RowsExamined)
+				returned[g] += int64(len(res.Rows))
 			}
 			if err := flush(); err != nil {
 				errs <- fmt.Errorf("workload: driver goroutine %d: %w", g, err)
@@ -289,6 +308,8 @@ func RunDriverRemote(cfg RemoteDriverConfig) (*DriverResult, error) {
 	for g := 0; g < dcfg.Goroutines; g++ {
 		res.Reads += reads[g]
 		res.Writes += writes[g]
+		res.RowsExamined += examined[g]
+		res.RowsReturned += returned[g]
 	}
 	res.Statements = res.Reads + res.Writes
 	if secs := res.Duration.Seconds(); secs > 0 {
