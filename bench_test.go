@@ -414,6 +414,47 @@ func BenchmarkConcurrentThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSortedRead measures ORDER BY execution through the whole
+// statement pipeline over a 2000-row table (query cache off so every
+// iteration really executes). The three cases are the planner's three
+// ORDER BY shapes: Top-N folding (ORDER BY non-key LIMIT 10), the full
+// Sort (no LIMIT to fold), and index-order absorption (ORDER BY pk
+// DESC, no sort operator at all). All three fetch the same pages in
+// the same order — the differential tests pin that — so the spread
+// here is pure post-fetch CPU and allocation.
+func BenchmarkSortedRead(b *testing.B) {
+	const rows = 2000
+	cfg := engine.Defaults()
+	cfg.EnableQueryCache = false
+	e, err := engine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := e.Connect("bench-sorted")
+	if _, err := s.Execute("CREATE TABLE t (id INT PRIMARY KEY, score INT)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := s.Execute(fmt.Sprintf("INSERT INTO t (id, score) VALUES (%d, %d)", i, (i*7919)%rows)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, tc := range []struct{ name, query string }{
+		{"topn", "SELECT id FROM t ORDER BY score LIMIT 10"},
+		{"full-sort", "SELECT id FROM t ORDER BY score"},
+		{"index-order", "SELECT score FROM t ORDER BY id DESC LIMIT 10"},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Execute(tc.query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPlanCache measures the statement pipeline with the plan
 // cache on vs off over a repeating statement mix: a hit skips the
 // lexer, parser, digest computation, and name resolution, while still

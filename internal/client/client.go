@@ -153,9 +153,21 @@ func (c *Conn) Execute(stmt string) (*Result, error) {
 }
 
 // Explain runs EXPLAIN on the statement and returns the rendered plan,
-// one operator per line, root first.
+// one operator per line, root first. The statement is planned but not
+// executed.
 func (c *Conn) Explain(stmt string) ([]string, error) {
-	res, err := c.Execute("EXPLAIN " + stmt)
+	return c.explainLines("EXPLAIN " + stmt)
+}
+
+// ExplainAnalyze runs EXPLAIN ANALYZE on the statement: the statement
+// really executes server-side (mutations apply, pages are fetched) and
+// the returned plan lines carry the per-operator runtime counters.
+func (c *Conn) ExplainAnalyze(stmt string) ([]string, error) {
+	return c.explainLines("EXPLAIN ANALYZE " + stmt)
+}
+
+func (c *Conn) explainLines(query string) ([]string, error) {
+	res, err := c.Execute(query)
 	if err != nil {
 		return nil, err
 	}

@@ -75,6 +75,35 @@ func randomWorkload(rng *rand.Rand) []string {
 		func() string {
 			return fmt.Sprintf("SELECT id, name FROM items ORDER BY name LIMIT %d", 1+rng.Intn(8))
 		},
+		func() string {
+			// LIMIT 0 is a real, empty limit — not "no limit".
+			return "SELECT name FROM items ORDER BY score LIMIT 0"
+		},
+		func() string { return "SELECT * FROM items LIMIT 0" },
+		func() string {
+			// Duplicate sort keys: Top-N must keep the stable order.
+			return fmt.Sprintf("SELECT id, name FROM items ORDER BY cat LIMIT %d", 1+rng.Intn(10))
+		},
+		func() string {
+			// Index-order DESC: after idx_cat exists this runs the
+			// group-reversing key lookup instead of a sort.
+			a := rng.Intn(6)
+			return fmt.Sprintf(
+				"SELECT name FROM items WHERE cat >= %d AND cat <= %d ORDER BY cat DESC LIMIT %d",
+				a, a+2, 1+rng.Intn(6))
+		},
+		func() string {
+			a := rng.Intn(6)
+			return fmt.Sprintf(
+				"SELECT name FROM items WHERE cat >= %d AND cat <= %d ORDER BY cat",
+				a, a+2)
+		},
+		func() string {
+			// PK ordering absorbed by the scan leaf (exact reversal).
+			return fmt.Sprintf("SELECT name FROM items ORDER BY id DESC LIMIT %d", 1+rng.Intn(8))
+		},
+		func() string { return "SELECT COUNT(*) FROM items LIMIT 0" },
+		func() string { return "SELECT COUNT(*) FROM items ORDER BY cat" }, // parse error: aggregate ORDER BY
 		func() string { return fmt.Sprintf("SELECT COUNT(*) FROM items WHERE cat = %d", rng.Intn(9)) },
 		func() string {
 			a := rng.Intn(55)

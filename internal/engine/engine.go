@@ -62,6 +62,13 @@ type Config struct {
 	SlowThreshold     time.Duration // default dblog.DefaultSlowThreshold
 	DisableSlowLog    bool          // default false: slow log is common in production
 
+	// DisableSortOptimizations forces every ORDER BY back to the full
+	// Sort (+ separate Limit) plan shape, turning off the TopN
+	// substitution and index-order absorption. The differential tests
+	// use it to prove the optimized plans produce byte-identical
+	// results, forensic artifacts, and buffer-pool fetch traces.
+	DisableSortOptimizations bool
+
 	// Hardening knobs (see internal/mitigate). All default to the
 	// production-realistic (leaky) setting.
 	SecureHeapDelete  bool // zeroize freed heap blocks
@@ -500,8 +507,14 @@ func (e *Engine) execute(s *Session, query string, pl *plan, parseErr error, ts 
 		}
 		return e.execTxnControl(s, st, ts)
 	case *sqlparse.Explain:
-		// Planning only reads the catalog (e.mu-guarded) — no page is
-		// fetched and no tree is walked, so no table lock is needed.
+		if st.Analyze {
+			// EXPLAIN ANALYZE runs the wrapped statement for real, so it
+			// takes the wrapped statement's locks (in execExplainAnalyze).
+			return e.execExplainAnalyze(s, st, ts)
+		}
+		// Plain EXPLAIN plans only, reading just the catalog
+		// (e.mu-guarded) — no page is fetched and no tree is walked, so
+		// no table lock is needed.
 		return e.execExplain(st)
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", pl.stmt)

@@ -14,11 +14,30 @@ import (
 // deliberate — it reproduces the legacy scan loop's buffer-pool fetch
 // sequence exactly, because the traversal happens in one piece no
 // matter what the operators above do (see the package comment).
+//
+// With rev set, Open reverses the buffer after the traversal — the
+// traversal itself (and therefore the page-fetch sequence) still runs
+// in forward key order; only the emission order flips. The planner uses
+// this for ORDER BY <pk> DESC, where the tree's unique keys make the
+// exact reversal identical to a stable descending sort.
 type scanBase struct {
 	desc  string
+	rev   bool
 	buf   []storage.Record
 	pos   int
 	stats Stats
+}
+
+// reverse flips the emission order of the buffered rows (no-op unless
+// the leaf was built reversed). Called at the end of Open, after the
+// traversal's fetches have been attributed.
+func (s *scanBase) reverse() {
+	if !s.rev {
+		return
+	}
+	for i, j := 0, len(s.buf)-1; i < j; i, j = i+1, j-1 {
+		s.buf[i], s.buf[j] = s.buf[j], s.buf[i]
+	}
 }
 
 func (s *scanBase) Next() (storage.Record, bool, error) {
@@ -58,18 +77,19 @@ type FullScan struct {
 // NewFullScan builds a full scan over tree. hint, when positive and
 // sane, pre-sizes the row buffer (the caller passes the table's
 // advisory row count for unfiltered scans, 0 otherwise — matching the
-// legacy scan loop's pre-sizing rule).
-func NewFullScan(tree *btree.Tree, hint int64, desc string, fc FetchCounter) *FullScan {
+// legacy scan loop's pre-sizing rule). rev flips the emission order
+// after the forward traversal (see scanBase).
+func NewFullScan(tree *btree.Tree, hint int64, rev bool, desc string, fc FetchCounter) *FullScan {
 	s := new(FullScan)
-	s.Init(tree, hint, desc, fc)
+	s.Init(tree, hint, rev, desc, fc)
 	return s
 }
 
 // Init resets s in place so callers can embed the operator in a
 // larger per-execution allocation instead of heap-allocating each
 // node separately.
-func (s *FullScan) Init(tree *btree.Tree, hint int64, desc string, fc FetchCounter) {
-	*s = FullScan{scanBase: scanBase{desc: desc}, tree: tree, hint: hint, fc: fc}
+func (s *FullScan) Init(tree *btree.Tree, hint int64, rev bool, desc string, fc FetchCounter) {
+	*s = FullScan{scanBase: scanBase{desc: desc, rev: rev}, tree: tree, hint: hint, fc: fc}
 }
 
 // Open runs the traversal.
@@ -80,6 +100,7 @@ func (s *FullScan) Open() error {
 	before := sampleFetches(s.fc)
 	err := s.tree.Scan(s.visit)
 	s.stats.PoolFetches += sampleFetches(s.fc) - before
+	s.reverse()
 	return err
 }
 
@@ -123,16 +144,17 @@ type IndexRangeScan struct {
 	fc     FetchCounter
 }
 
-// NewIndexRangeScan builds a range scan over [lo, hi].
-func NewIndexRangeScan(tree *btree.Tree, lo, hi sqlparse.Value, desc string, fc FetchCounter) *IndexRangeScan {
+// NewIndexRangeScan builds a range scan over [lo, hi]. rev flips the
+// emission order after the forward traversal (see scanBase).
+func NewIndexRangeScan(tree *btree.Tree, lo, hi sqlparse.Value, rev bool, desc string, fc FetchCounter) *IndexRangeScan {
 	s := new(IndexRangeScan)
-	s.Init(tree, lo, hi, desc, fc)
+	s.Init(tree, lo, hi, rev, desc, fc)
 	return s
 }
 
 // Init resets s in place (see FullScan.Init).
-func (s *IndexRangeScan) Init(tree *btree.Tree, lo, hi sqlparse.Value, desc string, fc FetchCounter) {
-	*s = IndexRangeScan{scanBase: scanBase{desc: desc}, tree: tree, lo: lo, hi: hi, fc: fc}
+func (s *IndexRangeScan) Init(tree *btree.Tree, lo, hi sqlparse.Value, rev bool, desc string, fc FetchCounter) {
+	*s = IndexRangeScan{scanBase: scanBase{desc: desc, rev: rev}, tree: tree, lo: lo, hi: hi, fc: fc}
 }
 
 // Open runs the range traversal.
@@ -140,6 +162,7 @@ func (s *IndexRangeScan) Open() error {
 	before := sampleFetches(s.fc)
 	err := s.tree.Range(s.lo, s.hi, s.visit)
 	s.stats.PoolFetches += sampleFetches(s.fc) - before
+	s.reverse()
 	return err
 }
 
@@ -149,53 +172,123 @@ func (s *IndexRangeScan) Open() error {
 // the index leaf below is blocking, the clustered searches still
 // happen in the same order (all index-leaf fetches, then one search
 // per entry) as the legacy two-phase index scan.
+//
+// With revCol >= 0 the lookup runs in group-reverse mode for ORDER BY
+// <indexed col> DESC: Open resolves every entry immediately — in the
+// same forward order, so the clustered search sequence (and its fetch
+// attribution) is byte-identical to the row-at-a-time mode — and then
+// emits equal-key groups of schema column revCol in reverse group
+// order, forward within each group. Because the index leaf yields
+// (value ASC, pk ASC), that emission order is exactly what a stable
+// descending sort on the column would produce.
 type KeyLookup struct {
 	input     Operator
 	clustered *btree.Tree
 	indexName string
 	desc      string
+	revCol    int // schema column for group-reverse emission; -1 disables
+	rows      []storage.Record
+	pos       int
 	fc        FetchCounter
 	stats     Stats
 }
 
 // NewKeyLookup builds a lookup of input's pk entries in clustered.
-func NewKeyLookup(input Operator, clustered *btree.Tree, indexName, desc string, fc FetchCounter) *KeyLookup {
+func NewKeyLookup(input Operator, clustered *btree.Tree, indexName, desc string, revCol int, fc FetchCounter) *KeyLookup {
 	k := new(KeyLookup)
-	k.Init(input, clustered, indexName, desc, fc)
+	k.Init(input, clustered, indexName, desc, revCol, fc)
 	return k
 }
 
 // Init resets k in place (see FullScan.Init).
-func (k *KeyLookup) Init(input Operator, clustered *btree.Tree, indexName, desc string, fc FetchCounter) {
-	*k = KeyLookup{input: input, clustered: clustered, indexName: indexName, desc: desc, fc: fc}
+func (k *KeyLookup) Init(input Operator, clustered *btree.Tree, indexName, desc string, revCol int, fc FetchCounter) {
+	*k = KeyLookup{input: input, clustered: clustered, indexName: indexName, desc: desc, revCol: revCol, fc: fc}
 }
 
-// Open opens the index leaf below.
-func (k *KeyLookup) Open() error { return k.input.Open() }
-
-// Next resolves the next index entry to its clustered row.
-func (k *KeyLookup) Next() (storage.Record, bool, error) {
-	entry, ok, err := k.input.Next()
-	if err != nil || !ok {
-		return nil, false, err
-	}
+// resolve searches the clustered tree for one index entry's pk,
+// attributing the fetches to this operator.
+func (k *KeyLookup) resolve(entry storage.Record) (storage.Record, error) {
 	pk := entry[1]
 	k.stats.RowsExamined++
 	before := sampleFetches(k.fc)
 	row, found, err := k.clustered.Search(pk)
 	k.stats.PoolFetches += sampleFetches(k.fc) - before
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	if !found {
-		return nil, false, fmt.Errorf("exec: index %q points at missing pk %s", k.indexName, pk)
+		return nil, fmt.Errorf("exec: index %q points at missing pk %s", k.indexName, pk)
+	}
+	return row, nil
+}
+
+// Open opens the index leaf below. In group-reverse mode it also
+// resolves every entry (forward) and rearranges the buffered rows into
+// the reversed-group emission order.
+func (k *KeyLookup) Open() error {
+	if err := k.input.Open(); err != nil {
+		return err
+	}
+	if k.revCol < 0 {
+		return nil
+	}
+	var fwd []storage.Record
+	for {
+		entry, ok, err := k.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		row, err := k.resolve(entry)
+		if err != nil {
+			return err
+		}
+		fwd = append(fwd, row)
+	}
+	k.rows = make([]storage.Record, 0, len(fwd))
+	for end := len(fwd); end > 0; {
+		start := end - 1
+		for start > 0 && fwd[start-1][k.revCol].Equal(fwd[start][k.revCol]) {
+			start--
+		}
+		k.rows = append(k.rows, fwd[start:end]...)
+		end = start
+	}
+	return nil
+}
+
+// Next resolves the next index entry to its clustered row (or, in
+// group-reverse mode, emits the next buffered row).
+func (k *KeyLookup) Next() (storage.Record, bool, error) {
+	if k.revCol >= 0 {
+		if k.pos >= len(k.rows) {
+			return nil, false, nil
+		}
+		r := k.rows[k.pos]
+		k.pos++
+		k.stats.RowsReturned++
+		return r, true, nil
+	}
+	entry, ok, err := k.input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	row, err := k.resolve(entry)
+	if err != nil {
+		return nil, false, err
 	}
 	k.stats.RowsReturned++
 	return row, true, nil
 }
 
-// Close closes the index leaf below.
-func (k *KeyLookup) Close() error { return k.input.Close() }
+// Close releases the group-reverse buffer and closes the index leaf
+// below.
+func (k *KeyLookup) Close() error {
+	k.rows = nil
+	return k.input.Close()
+}
 
 func (k *KeyLookup) Describe() string     { return k.desc }
 func (k *KeyLookup) Stats() Stats         { return k.stats }

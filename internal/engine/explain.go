@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"snapdb/internal/perfschema"
 	"snapdb/internal/sqlparse"
 	"snapdb/internal/storage"
 )
@@ -67,4 +68,111 @@ func (e *Engine) execExplain(st *sqlparse.Explain) (*Result, error) {
 		res.Rows = append(res.Rows, storage.Record{sqlparse.StrValue(line)})
 	}
 	return res, nil
+}
+
+// analyzeLines renders the per-operator counters of an executed plan:
+// one row per operator, indented by tree depth (below the header, when
+// one is given), annotated with the same counters events_stages_history
+// records.
+func analyzeLines(header string, stages []perfschema.StageEvent) []storage.Record {
+	base := 0
+	rows := make([]storage.Record, 0, len(stages)+1)
+	if header != "" {
+		rows = append(rows, storage.Record{sqlparse.StrValue(header)})
+		base = 1
+	}
+	for _, ev := range stages {
+		line := fmt.Sprintf("%s-> %s (examined=%d returned=%d fetches=%d)",
+			strings.Repeat("  ", ev.Depth+base), ev.Operator,
+			ev.RowsExamined, ev.RowsReturned, ev.PoolFetches)
+		rows = append(rows, storage.Record{sqlparse.StrValue(line)})
+	}
+	return rows
+}
+
+// execExplainAnalyze executes the wrapped statement and renders its
+// operator tree annotated with the per-operator runtime counters. It
+// takes the same locks the bare statement would (shared for SELECT,
+// exclusive for UPDATE/DELETE) because the statement really runs:
+// pages are fetched, mutations apply, the binlog and WAL record them.
+// The query cache is bypassed in both directions — a cached result
+// would have no counters to show, and caching the rendered tree under
+// the EXPLAIN ANALYZE text would be useless — so the counters are
+// always from a genuine execution.
+func (e *Engine) execExplainAnalyze(s *Session, st *sqlparse.Explain, ts int64) (*Result, error) {
+	switch inner := st.Stmt.(type) {
+	case *sqlparse.Select:
+		if isSystemTable(inner.Table) {
+			return nil, fmt.Errorf("engine: cannot EXPLAIN ANALYZE system table %q", inner.Table)
+		}
+		mu := e.locks.shared(inner.Table)
+		defer mu.RUnlock()
+		e.simulateIO()
+		return e.execExplainAnalyzeSelect(inner)
+	case *sqlparse.Update:
+		mu := e.locks.exclusive(inner.Table)
+		defer mu.Unlock()
+		e.simulateIO()
+		res, err := e.execUpdate(s, inner, nil, inner.SQL(), ts)
+		if err != nil {
+			return nil, err
+		}
+		return analyzeMutateResult("Update: "+inner.Table, res), nil
+	case *sqlparse.Delete:
+		mu := e.locks.exclusive(inner.Table)
+		defer mu.Unlock()
+		e.simulateIO()
+		res, err := e.execDelete(s, inner, nil, inner.SQL(), ts)
+		if err != nil {
+			return nil, err
+		}
+		return analyzeMutateResult("Delete: "+inner.Table, res), nil
+	default:
+		return nil, fmt.Errorf("engine: EXPLAIN ANALYZE supports SELECT, UPDATE, and DELETE, not %s", st.Stmt.SQL())
+	}
+}
+
+// execExplainAnalyzeSelect plans, executes, and renders a SELECT. The
+// result rows are discarded — the client gets the annotated tree, as
+// in MySQL — but the execution is complete: every page the bare SELECT
+// would fetch is fetched, in the same order.
+func (e *Engine) execExplainAnalyzeSelect(st *sqlparse.Select) (*Result, error) {
+	t, err := e.lookupTable(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	pp := e.buildSelectPlan(t, st)
+	if pp.whereErr != nil {
+		return nil, pp.whereErr
+	}
+	pi := pp.instantiate(e.fc)
+	if _, err := pi.drain(); err != nil {
+		return nil, err
+	}
+	if pp.deferredErr != nil {
+		return nil, pp.deferredErr
+	}
+	stages := pi.stages()
+	return &Result{
+		Columns:      []string{"EXPLAIN"},
+		Rows:         analyzeLines("", stages),
+		RowsExamined: pi.examined(),
+		AccessPath:   pp.path,
+		stages:       stages,
+	}, nil
+}
+
+// analyzeMutateResult wraps an executed UPDATE/DELETE result into the
+// rendered-tree form, keeping the inner statement's counters (and its
+// stage events, which executeWith records under the EXPLAIN ANALYZE
+// statement's digest).
+func analyzeMutateResult(header string, res *Result) *Result {
+	header = fmt.Sprintf("-> %s (affected=%d)", header, res.RowsAffected)
+	return &Result{
+		Columns:      []string{"EXPLAIN"},
+		Rows:         analyzeLines(header, res.stages),
+		RowsAffected: res.RowsAffected,
+		RowsExamined: res.RowsExamined,
+		stages:       res.stages,
+	}
 }

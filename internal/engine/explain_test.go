@@ -51,14 +51,42 @@ func TestExplainAccessPaths(t *testing.T) {
 			[]string{"-> Filter: state = 'AZ'", "-> Table scan on customers (access=full-scan)"},
 		},
 		{
+			// LIMIT over ORDER BY on an unindexed-by-access-path column:
+			// Sort+Limit folds into one Top-N operator.
 			"EXPLAIN SELECT name FROM customers ORDER BY age DESC LIMIT 3",
 			"full-scan",
-			[]string{"-> Limit: 3", "-> Project: name", "-> Sort: age DESC", "-> Table scan on customers"},
+			[]string{"-> Project: name", "-> Top-N sort: age DESC (limit 3)", "-> Table scan on customers"},
+		},
+		{
+			// ORDER BY without LIMIT still gets the full Sort.
+			"EXPLAIN SELECT name FROM customers ORDER BY age DESC",
+			"full-scan",
+			[]string{"-> Project: name", "-> Sort: age DESC", "-> Table scan on customers"},
+		},
+		{
+			// ORDER BY on the primary key of a PK-ordered access path:
+			// the scan leaf absorbs the ordering; no sort node at all.
+			"EXPLAIN SELECT name FROM customers ORDER BY id DESC LIMIT 3",
+			"full-scan",
+			[]string{"-> Limit: 3", "-> Project: name", "-> Table scan on customers (access=full-scan, order=id DESC)"},
+		},
+		{
+			// ORDER BY on the secondary index's key column when that
+			// index is the access path: the index leaf absorbs it.
+			"EXPLAIN SELECT name FROM customers WHERE age >= 30 AND age <= 40 ORDER BY age",
+			"index:idx_age",
+			[]string{"-> Key lookup on customers via idx_age", "order=age ASC)"},
 		},
 		{
 			"EXPLAIN SELECT COUNT(*) FROM customers WHERE state = 'NY'",
 			"full-scan",
 			[]string{"-> Aggregate: COUNT(*)", "-> Filter: state = 'NY'"},
+		},
+		{
+			// LIMIT applies to the single aggregate row.
+			"EXPLAIN SELECT COUNT(*) FROM customers LIMIT 0",
+			"full-scan",
+			[]string{"-> Limit: 0", "-> Aggregate: COUNT(*)"},
 		},
 	}
 	for _, tc := range cases {
@@ -83,7 +111,7 @@ func TestExplainAccessPaths(t *testing.T) {
 
 	// Operator order must read root-first with children indented below.
 	lines, _ := explainLines(t, s, "EXPLAIN SELECT name FROM customers ORDER BY age DESC LIMIT 3")
-	order := []string{"Limit:", "Project:", "Sort:", "Table scan"}
+	order := []string{"Project:", "Top-N sort:", "Table scan"}
 	depth := -1
 	for i, l := range lines {
 		if !strings.Contains(l, order[i]) {

@@ -72,13 +72,19 @@ func legacyExecSelect(e *Engine, s *Session, st *sqlparse.Select, query string) 
 	}
 	res := &Result{Columns: selectColumns(t, st), RowsExamined: examined, AccessPath: path}
 
-	// Aggregates.
+	// Aggregates. LIMIT caps the single aggregate row (the LIMIT 0 fix
+	// applies here too — this frozen copy tracks the current semantics,
+	// not the historical ORDER BY/LIMIT-dropping bug, so the differential
+	// tests prove executor equivalence rather than re-proving the bug).
 	if len(st.Exprs) == 1 && st.Exprs[0].Agg != sqlparse.AggNone {
 		val, err := legacyAggregate(t, st.Exprs[0], rows)
 		if err != nil {
 			return nil, err
 		}
 		res.Rows = []storage.Record{{val}}
+		if st.Limit >= 0 && len(res.Rows) > st.Limit {
+			res.Rows = res.Rows[:st.Limit]
+		}
 		e.qcache.Put(query, t.Name, res.Rows)
 		return res, nil
 	}
@@ -119,7 +125,7 @@ func legacyExecSelect(e *Engine, s *Session, st *sqlparse.Select, query string) 
 		}
 		out = reordered
 	}
-	if st.Limit > 0 && len(out) > st.Limit {
+	if st.Limit >= 0 && len(out) > st.Limit {
 		out = out[:st.Limit]
 	}
 	res.Rows = out

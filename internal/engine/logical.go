@@ -41,10 +41,11 @@ type logicalSelect struct {
 	scan logicalScan
 
 	// Aggregate branch (exactly one select expression with an
-	// aggregate): the legacy executor took it before projection, ORDER
-	// BY, and LIMIT, which it ignored entirely. aggCol is the SUM
-	// column's schema index, -1 for COUNT (which, like the legacy
-	// aggregate, never resolves its argument).
+	// aggregate), taken before projection. aggCol is the SUM column's
+	// schema index, -1 for COUNT (which, like the legacy aggregate,
+	// never resolves its argument). LIMIT applies to the single
+	// aggregate row; ORDER BY over an aggregate is rejected at parse
+	// time (and defensively re-checked here).
 	agg     bool
 	aggExpr sqlparse.SelectExpr
 	aggCol  int
@@ -96,11 +97,16 @@ func lowerScan(t *Table, where sqlparse.Where) logicalScan {
 
 // lowerSelect lowers a SELECT against t.
 func lowerSelect(t *Table, st *sqlparse.Select) logicalSelect {
-	lp := logicalSelect{scan: lowerScan(t, st.Where), sortCol: -1, aggCol: -1}
+	lp := logicalSelect{scan: lowerScan(t, st.Where), sortCol: -1, aggCol: -1, limit: -1}
 
 	if len(st.Exprs) == 1 && st.Exprs[0].Agg != sqlparse.AggNone {
 		lp.agg = true
 		lp.aggExpr = st.Exprs[0]
+		if st.OrderBy != "" {
+			// The parser rejects this; guard against hand-built ASTs.
+			lp.deferredErr = fmt.Errorf("engine: %w", sqlparse.ErrAggregateOrderBy)
+			return lp
+		}
 		switch st.Exprs[0].Agg {
 		case sqlparse.AggCount:
 			// COUNT ignores its argument (even an unknown column), as
@@ -117,8 +123,8 @@ func lowerSelect(t *Table, st *sqlparse.Select) logicalSelect {
 		default:
 			lp.deferredErr = fmt.Errorf("engine: %w", exec.ErrUnsupportedAggregate)
 		}
-		// The aggregate branch ignores ORDER BY and LIMIT, as the legacy
-		// executor did (it returned before looking at them).
+		// LIMIT caps the single aggregate row (LIMIT 0 makes it empty).
+		lp.limit = st.Limit
 		return lp
 	}
 

@@ -50,20 +50,28 @@ type physicalPlan struct {
 	whereErr    error // raised before the scan runs
 	deferredErr error // raised after the scan drains
 
-	// SELECT shape.
-	agg      bool
-	aggKind  sqlparse.AggKind
-	aggCol   int
-	proj     []int
-	sortCol  int // -1 for none
-	sortDesc bool
-	limit    int
+	// SELECT shape. sortCol is -1 when there is no ORDER BY *node*:
+	// either the statement has none, or the access path absorbed the
+	// ordering (scanRev / lookupRevCol carry the DESC variants). limit
+	// is -1 for no LIMIT — LIMIT 0 is a real, empty limit. When both a
+	// sort node and a limit are present the tree gets a single TopN
+	// operator instead of Sort+Limit.
+	agg          bool
+	aggKind      sqlparse.AggKind
+	aggCol       int
+	proj         []int
+	sortCol      int // -1 for none (or absorbed by the access path)
+	sortDesc     bool
+	limit        int  // -1 for none
+	useTopN      bool // fold Sort+Limit into one TopN operator
+	scanRev      bool // PK-order DESC: leaf emits its buffer reversed
+	lookupRevCol int  // index-order DESC: KeyLookup group-reverse column, -1 off
 
 	// UPDATE shape.
 	sets []setOp
 
 	// Precomputed operator descriptions (EXPLAIN and events_stages).
-	dScan, dLookup, dFilter, dSort, dAgg, dProj, dLimit string
+	dScan, dLookup, dFilter, dSort, dTopN, dAgg, dProj, dLimit string
 }
 
 // indexesOf snapshots t's secondary-index list under the catalog lock.
@@ -120,10 +128,46 @@ func (e *Engine) buildAccess(pp *physicalPlan, ls logicalScan) {
 	pp.dScan = fmt.Sprintf("Table scan on %s (access=full-scan)", t.Name)
 }
 
+// orderFromAccess reports whether the chosen access path already
+// yields rows in the requested ORDER BY order, and records the
+// reversal the DESC variants need. The key property in every case is
+// that the B+ tree traversal still runs forward — reversal happens on
+// the buffered rows (scanRev) or on the emission order of resolved
+// lookups (lookupRevCol) — so the page-fetch sequence is identical to
+// the Sort-based plan's.
+func (pp *physicalPlan) orderFromAccess(sortCol int, sortDesc bool) bool {
+	t := pp.table
+	switch pp.kind {
+	case accessFull, accessPKRange:
+		// The clustered tree emits primary-key ASC; keys are unique, so
+		// an exact reversal is a stable descending sort.
+		if sortCol != t.PKIndex {
+			return false
+		}
+		pp.scanRev = sortDesc
+		return true
+	case accessPKPoint:
+		// At most one row: any order is satisfied.
+		return sortCol == t.PKIndex
+	case accessIndex:
+		// The index leaf emits (value ASC, pk ASC) — exactly the stable
+		// ascending order. DESC is produced by the KeyLookup emitting
+		// equal-value groups in reverse group order.
+		if sortCol != pp.ix.colIdx {
+			return false
+		}
+		if sortDesc {
+			pp.lookupRevCol = sortCol
+		}
+		return true
+	}
+	return false
+}
+
 // buildSelectPlan lowers and templates a SELECT.
 func (e *Engine) buildSelectPlan(t *Table, st *sqlparse.Select) *physicalPlan {
 	lp := lowerSelect(t, st)
-	pp := &physicalPlan{sortCol: -1, aggCol: -1}
+	pp := &physicalPlan{sortCol: -1, aggCol: -1, lookupRevCol: -1, limit: -1}
 	e.buildAccess(pp, lp.scan)
 	pp.deferredErr = lp.deferredErr
 	if lp.deferredErr != nil {
@@ -134,6 +178,10 @@ func (e *Engine) buildSelectPlan(t *Table, st *sqlparse.Select) *physicalPlan {
 		pp.aggKind = lp.aggExpr.Agg
 		pp.aggCol = lp.aggCol
 		pp.dAgg = "Aggregate: " + lp.aggExpr.SQL()
+		if lp.limit >= 0 {
+			pp.limit = lp.limit
+			pp.dLimit = fmt.Sprintf("Limit: %d", lp.limit)
+		}
 		return pp
 	}
 	pp.proj = lp.proj
@@ -142,18 +190,37 @@ func (e *Engine) buildSelectPlan(t *Table, st *sqlparse.Select) *physicalPlan {
 		cols[i] = t.Columns[idx].Name
 	}
 	pp.dProj = "Project: " + strings.Join(cols, ", ")
+	if lp.limit >= 0 {
+		pp.limit = lp.limit
+	}
 	if lp.sortCol >= 0 {
-		pp.sortCol = lp.sortCol
-		pp.sortDesc = lp.sortDesc
 		dir := "ASC"
 		if lp.sortDesc {
 			dir = "DESC"
 		}
-		pp.dSort = fmt.Sprintf("Sort: %s %s", t.Columns[lp.sortCol].Name, dir)
+		name := t.Columns[lp.sortCol].Name
+		switch {
+		case !e.cfg.DisableSortOptimizations && pp.orderFromAccess(lp.sortCol, lp.sortDesc):
+			// The access path absorbs the ordering: no sort node at all.
+			// EXPLAIN shows the leaf carrying it.
+			pp.dScan = strings.TrimSuffix(pp.dScan, ")") + fmt.Sprintf(", order=%s %s)", name, dir)
+		case !e.cfg.DisableSortOptimizations && lp.limit >= 0:
+			// LIMIT over ORDER BY: one bounded-heap TopN replaces
+			// Sort+Limit.
+			pp.sortCol = lp.sortCol
+			pp.sortDesc = lp.sortDesc
+			pp.useTopN = true
+			pp.dTopN = fmt.Sprintf("Top-N sort: %s %s (limit %d)", name, dir, lp.limit)
+		default:
+			pp.sortCol = lp.sortCol
+			pp.sortDesc = lp.sortDesc
+			pp.dSort = fmt.Sprintf("Sort: %s %s", name, dir)
+		}
 	}
-	if lp.limit > 0 {
-		pp.limit = lp.limit
-		pp.dLimit = fmt.Sprintf("Limit: %d", lp.limit)
+	// A Limit node exists only when no TopN carries the limit: absorbed
+	// ordering, plain LIMIT without ORDER BY, or sort optimizations off.
+	if pp.limit >= 0 && !pp.useTopN {
+		pp.dLimit = fmt.Sprintf("Limit: %d", pp.limit)
 	}
 	return pp
 }
@@ -161,7 +228,7 @@ func (e *Engine) buildSelectPlan(t *Table, st *sqlparse.Select) *physicalPlan {
 // buildUpdatePlan lowers and templates an UPDATE's scan half.
 func (e *Engine) buildUpdatePlan(t *Table, st *sqlparse.Update) *physicalPlan {
 	lm := lowerUpdate(t, st)
-	pp := &physicalPlan{sortCol: -1, aggCol: -1}
+	pp := &physicalPlan{sortCol: -1, aggCol: -1, lookupRevCol: -1, limit: -1}
 	e.buildAccess(pp, lm.scan)
 	pp.deferredErr = lm.deferredErr
 	pp.sets = lm.sets
@@ -171,7 +238,7 @@ func (e *Engine) buildUpdatePlan(t *Table, st *sqlparse.Update) *physicalPlan {
 // buildDeletePlan lowers and templates a DELETE's scan half.
 func (e *Engine) buildDeletePlan(t *Table, st *sqlparse.Delete) *physicalPlan {
 	lm := lowerDelete(t, st)
-	pp := &physicalPlan{sortCol: -1, aggCol: -1}
+	pp := &physicalPlan{sortCol: -1, aggCol: -1, lookupRevCol: -1, limit: -1}
 	e.buildAccess(pp, lm.scan)
 	return pp
 }
@@ -231,6 +298,7 @@ type planInstance struct {
 	lookup    exec.KeyLookup
 	filter    exec.Filter
 	sort      exec.Sort
+	topn      exec.TopN
 	agg       exec.Aggregate
 	proj      exec.Project
 	limit     exec.Limit
@@ -250,22 +318,22 @@ func (pp *physicalPlan) instantiate(fc exec.FetchCounter) *planInstance {
 		pi.pointScan.Init(t.Tree, pp.lo, pp.dScan, fc)
 		leaf = &pi.pointScan
 	case accessPKRange:
-		pi.rangeScan.Init(t.Tree, pp.lo, pp.hi, pp.dScan, fc)
+		pi.rangeScan.Init(t.Tree, pp.lo, pp.hi, pp.scanRev, pp.dScan, fc)
 		leaf = &pi.rangeScan
 	case accessIndex:
-		pi.rangeScan.Init(pp.ix.Tree, pp.lo, pp.hi, pp.dScan, fc)
+		pi.rangeScan.Init(pp.ix.Tree, pp.lo, pp.hi, false, pp.dScan, fc)
 		leaf = &pi.rangeScan
 	default:
 		var hint int64
 		if pp.presize {
 			hint = t.rows.Load()
 		}
-		pi.fullScan.Init(t.Tree, hint, pp.dScan, fc)
+		pi.fullScan.Init(t.Tree, hint, pp.scanRev, pp.dScan, fc)
 		leaf = &pi.fullScan
 	}
 	root := leaf
 	if pp.kind == accessIndex {
-		pi.lookup.Init(root, t.Tree, pp.ix.Name, pp.dLookup, fc)
+		pi.lookup.Init(root, t.Tree, pp.ix.Name, pp.dLookup, pp.lookupRevCol, fc)
 		root = &pi.lookup
 	}
 	if len(pp.preds) > 0 {
@@ -280,14 +348,22 @@ func (pp *physicalPlan) instantiate(fc exec.FetchCounter) *planInstance {
 		case pp.agg:
 			pi.agg.Init(root, pp.aggKind, pp.aggCol, pp.dAgg)
 			root = &pi.agg
+			if pp.limit >= 0 {
+				pi.limit.Init(root, pp.limit, pp.dLimit)
+				root = &pi.limit
+			}
 		case pp.proj != nil:
-			if pp.sortCol >= 0 {
+			switch {
+			case pp.useTopN:
+				pi.topn.Init(root, pp.sortCol, pp.sortDesc, pp.limit, pp.dTopN)
+				root = &pi.topn
+			case pp.sortCol >= 0:
 				pi.sort.Init(root, pp.sortCol, pp.sortDesc, pp.dSort)
 				root = &pi.sort
 			}
 			pi.proj.Init(root, pp.proj, pp.dProj)
 			root = &pi.proj
-			if pp.limit > 0 {
+			if pp.limit >= 0 && !pp.useTopN {
 				pi.limit.Init(root, pp.limit, pp.dLimit)
 				root = &pi.limit
 			}

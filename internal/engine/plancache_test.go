@@ -254,8 +254,14 @@ func TestPlanCacheLeakageEquivalence(t *testing.T) {
 		"SELECT owner FROM accounts ORDER BY balance DESC LIMIT 1",
 		"SELECT owner FROM accounts ORDER BY balance DESC LIMIT 1", // hit on ORDER BY/LIMIT
 		"SELECT SUM(balance) FROM accounts WHERE id >= 1 AND id <= 3",
+		"SELECT owner FROM accounts ORDER BY balance LIMIT 0", // LIMIT 0: real, empty limit
+		"SELECT owner FROM accounts ORDER BY balance LIMIT 0",
+		"SELECT id FROM accounts WHERE owner >= 'a' AND owner <= 'z' ORDER BY owner DESC", // index-order DESC
+		"SELECT id FROM accounts WHERE owner >= 'a' AND owner <= 'z' ORDER BY owner DESC",
 		"EXPLAIN SELECT id FROM accounts WHERE owner = 'alice'",
 		"EXPLAIN SELECT id FROM accounts WHERE owner = 'alice'", // hit on EXPLAIN
+		"EXPLAIN ANALYZE SELECT owner FROM accounts ORDER BY balance DESC LIMIT 1",
+		"EXPLAIN ANALYZE SELECT owner FROM accounts ORDER BY balance DESC LIMIT 1", // hit on EXPLAIN ANALYZE
 	}
 
 	run := func(disable bool) (forensicState, []storage.PageID) {

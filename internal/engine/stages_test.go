@@ -20,11 +20,12 @@ func TestStagesRecordedPerOperator(t *testing.T) {
 	res := mustExec(t, s, "SELECT name FROM customers WHERE age >= 30 ORDER BY age LIMIT 4")
 
 	evs := e.PerfSchema().StagesHistory()
-	// Plan: Limit -> Project -> Sort -> Filter -> Table scan.
-	if len(evs) != 5 {
-		t.Fatalf("recorded %d stage events, want 5: %+v", len(evs), evs)
+	// Plan: Project -> Top-N sort (folding Sort+Limit) -> Filter ->
+	// Table scan.
+	if len(evs) != 4 {
+		t.Fatalf("recorded %d stage events, want 4: %+v", len(evs), evs)
 	}
-	wantOps := []string{"Limit:", "Project:", "Sort:", "Filter:", "Table scan"}
+	wantOps := []string{"Project:", "Top-N sort:", "Filter:", "Table scan"}
 	for i, ev := range evs {
 		if !strings.Contains(ev.Operator, wantOps[i]) {
 			t.Errorf("stage %d operator = %q, want containing %q", i, ev.Operator, wantOps[i])
@@ -36,16 +37,19 @@ func TestStagesRecordedPerOperator(t *testing.T) {
 			t.Errorf("stage %d has no digest", i)
 		}
 	}
-	scan := evs[4]
+	scan := evs[3]
 	if scan.RowsExamined != 20 {
 		t.Errorf("scan examined %d rows, want 20", scan.RowsExamined)
 	}
 	if scan.PoolFetches == 0 {
 		t.Error("scan attributed no buffer-pool fetches")
 	}
-	limit := evs[0]
-	if limit.RowsReturned != len(res.Rows) || limit.RowsReturned != 4 {
-		t.Errorf("limit returned %d rows, want 4", limit.RowsReturned)
+	topn := evs[1]
+	if topn.RowsExamined != 10 {
+		t.Errorf("top-n examined %d rows, want the filter's 10", topn.RowsExamined)
+	}
+	if topn.RowsReturned != len(res.Rows) || topn.RowsReturned != 4 {
+		t.Errorf("top-n returned %d rows, want 4", topn.RowsReturned)
 	}
 
 	// The same events through the SQL surface.
@@ -53,11 +57,11 @@ func TestStagesRecordedPerOperator(t *testing.T) {
 	if len(sys.Columns) != 9 || sys.Columns[5] != "operator" {
 		t.Fatalf("stage table columns = %v", sys.Columns)
 	}
-	if len(sys.Rows) != 5 {
-		t.Fatalf("stage table has %d rows, want 5", len(sys.Rows))
+	if len(sys.Rows) != 4 {
+		t.Fatalf("stage table has %d rows, want 4", len(sys.Rows))
 	}
-	if got := sys.Rows[4][5].Str; !strings.Contains(got, "Table scan") {
-		t.Errorf("row 4 operator = %q", got)
+	if got := sys.Rows[3][5].Str; !strings.Contains(got, "Table scan") {
+		t.Errorf("row 3 operator = %q", got)
 	}
 }
 

@@ -70,3 +70,106 @@ func TestExplainOverTCP(t *testing.T) {
 		t.Errorf("point select examined = %d, want 1", res.RowsExamined)
 	}
 }
+
+// EXPLAIN ANALYZE end to end over the wire: the annotated tree comes
+// back with real counters, and a mutation wrapped in it actually
+// applies server-side.
+func TestExplainAnalyzeOverTCP(t *testing.T) {
+	addr, _, stop := startServer(t)
+	defer stop()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	setup := []string{
+		"CREATE TABLE t (id INT PRIMARY KEY, name TEXT, score INT)",
+		"INSERT INTO t (id, name, score) VALUES (1, 'a', 10), (2, 'b', 20), (3, 'c', 30), (4, 'd', 40)",
+	}
+	for _, q := range setup {
+		if _, err := c.Execute(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+
+	lines, err := c.ExplainAnalyze("SELECT name FROM t ORDER BY score DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := strings.Join(lines, "\n")
+	for _, want := range []string{"Top-N sort: score DESC (limit 2)", "examined=4", "returned=2", "fetches="} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("analyzed plan missing %q:\n%s", want, plan)
+		}
+	}
+
+	lines, err = c.ExplainAnalyze("UPDATE t SET score = 99 WHERE id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 || !strings.Contains(lines[0], "-> Update: t (affected=1)") {
+		t.Errorf("analyzed UPDATE = %v", lines)
+	}
+	res, err := c.Execute("SELECT score FROM t WHERE id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 99 {
+		t.Errorf("EXPLAIN ANALYZE UPDATE did not apply over the wire: %v", res.Rows)
+	}
+
+	if _, err := c.ExplainAnalyze("SELECT * FROM information_schema.processlist"); err == nil {
+		t.Error("EXPLAIN ANALYZE of a system table did not error")
+	}
+}
+
+// LIMIT semantics over the wire: LIMIT 0 is a real, empty limit; the
+// empty result still carries the scan's examined counter.
+func TestLimitBoundsOverTCP(t *testing.T) {
+	addr, _, stop := startServer(t)
+	defer stop()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	setup := []string{
+		"CREATE TABLE t (id INT PRIMARY KEY, v INT)",
+		"INSERT INTO t (id, v) VALUES (1, 30), (2, 10), (3, 20)",
+	}
+	for _, q := range setup {
+		if _, err := c.Execute(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+
+	for _, tc := range []struct {
+		query string
+		want  int
+	}{
+		{"SELECT id FROM t ORDER BY v LIMIT 0", 0},
+		{"SELECT id FROM t ORDER BY v LIMIT 1", 1},
+		{"SELECT id FROM t ORDER BY v LIMIT 99", 3},
+		{"SELECT COUNT(*) FROM t LIMIT 0", 0},
+	} {
+		res, err := c.Execute(tc.query)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.query, err)
+		}
+		if len(res.Rows) != tc.want {
+			t.Errorf("%s: %d rows, want %d", tc.query, len(res.Rows), tc.want)
+		}
+		if res.RowsExamined != 3 {
+			t.Errorf("%s: examined = %d, want 3 (LIMIT must not change the scan)", tc.query, res.RowsExamined)
+		}
+	}
+	res, err := c.Execute("SELECT id FROM t ORDER BY v LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 2 {
+		t.Errorf("top-1 by v = %v, want id 2", res.Rows)
+	}
+}

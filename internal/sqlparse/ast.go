@@ -226,7 +226,7 @@ type Select struct {
 	Where   Where
 	OrderBy string // column name, empty for none
 	Desc    bool
-	Limit   int // 0 means no limit
+	Limit   int // row cap; -1 means no LIMIT clause (LIMIT 0 is a real, empty limit)
 }
 
 func (*Select) stmt() {}
@@ -247,7 +247,7 @@ func (s *Select) SQL() string {
 			out += " DESC"
 		}
 	}
-	if s.Limit > 0 {
+	if s.Limit >= 0 {
 		out += fmt.Sprintf(" LIMIT %d", s.Limit)
 	}
 	return out
@@ -348,15 +348,23 @@ func (t *TxnControl) SQL() string {
 }
 
 // Explain is an EXPLAIN statement: render the execution plan of the
-// wrapped statement without running it.
+// wrapped statement without running it. With Analyze set (EXPLAIN
+// ANALYZE) the wrapped statement IS executed and the plan is annotated
+// with the per-operator runtime counters.
 type Explain struct {
-	Stmt Statement
+	Stmt    Statement
+	Analyze bool
 }
 
 func (*Explain) stmt() {}
 
 // SQL renders the statement.
-func (e *Explain) SQL() string { return "EXPLAIN " + e.Stmt.SQL() }
+func (e *Explain) SQL() string {
+	if e.Analyze {
+		return "EXPLAIN ANALYZE " + e.Stmt.SQL()
+	}
+	return "EXPLAIN " + e.Stmt.SQL()
+}
 
 // Delete is a DELETE statement.
 type Delete struct {

@@ -20,6 +20,14 @@ func FuzzParseExplain(f *testing.F) {
 	f.Add("EXPLAIN INSERT INTO t (a) VALUES (1)")
 	f.Add("EXPLAIN BEGIN")
 	f.Add("EXPLAIN")
+	f.Add("EXPLAIN ANALYZE SELECT * FROM t ORDER BY a LIMIT 0")
+	f.Add("EXPLAIN ANALYZE SELECT name FROM t WHERE a >= 1 ORDER BY a DESC LIMIT 3")
+	f.Add("EXPLAIN ANALYZE UPDATE t SET a = 1 WHERE id = 2")
+	f.Add("EXPLAIN ANALYZE DELETE FROM t WHERE id = 3")
+	f.Add("EXPLAIN ANALYZE EXPLAIN SELECT * FROM t")
+	f.Add("EXPLAIN ANALYZE")
+	f.Add("EXPLAIN SELECT COUNT(*) FROM t LIMIT 0")
+	f.Add("EXPLAIN SELECT COUNT(*) FROM t ORDER BY a")
 	f.Fuzz(func(t *testing.T, src string) {
 		stmt, err := Parse("EXPLAIN " + src)
 		if err != nil {
@@ -38,6 +46,57 @@ func FuzzParseExplain(f *testing.F) {
 		sql := stmt.SQL()
 		if !strings.HasPrefix(sql, "EXPLAIN ") {
 			t.Fatalf("rendering of EXPLAIN %q lost the keyword: %q", src, sql)
+		}
+		again, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("re-parse of rendered %q failed: %v", sql, err)
+		}
+		if again.SQL() != sql {
+			t.Fatalf("rendering not a fixed point: %q -> %q", sql, again.SQL())
+		}
+	})
+}
+
+// FuzzParseSelect exercises the SELECT tail of the grammar — ORDER BY,
+// ASC/DESC, and LIMIT — checking the parser's LIMIT invariants: the
+// sentinel is exactly -1 for "no LIMIT", a parsed LIMIT is never
+// negative, and rendered SQL is a re-parse fixed point (so LIMIT 0 and
+// no-LIMIT can never collapse into the same canonical text).
+func FuzzParseSelect(f *testing.F) {
+	f.Add("SELECT * FROM t")
+	f.Add("SELECT * FROM t LIMIT 0")
+	f.Add("SELECT * FROM t LIMIT 1")
+	f.Add("SELECT a, b FROM t WHERE a >= 1 ORDER BY b LIMIT 10")
+	f.Add("SELECT a FROM t ORDER BY a DESC LIMIT 0")
+	f.Add("SELECT a FROM t ORDER BY a ASC")
+	f.Add("SELECT COUNT(*) FROM t LIMIT 0")
+	f.Add("SELECT SUM(v) FROM t ORDER BY v")
+	f.Add("SELECT * FROM t ORDER BY a LIMIT -1")
+	f.Add("SELECT * FROM t LIMIT 999999999999999999999")
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		sel, ok := stmt.(*Select)
+		if !ok {
+			return
+		}
+		if sel.Limit < -1 {
+			t.Fatalf("Parse(%q) produced Limit %d < -1", src, sel.Limit)
+		}
+		if sel.OrderBy != "" {
+			for _, e := range sel.Exprs {
+				if e.Agg != AggNone {
+					t.Fatalf("Parse(%q) accepted ORDER BY over aggregate %s", src, e.SQL())
+				}
+			}
+		}
+		sql := stmt.SQL()
+		// " LIMIT " with spaces: an identifier may legally contain the
+		// substring (e.g. a table named ALIMIT).
+		if sel.Limit == -1 && strings.Contains(sql, " LIMIT ") {
+			t.Fatalf("no-LIMIT select rendered a LIMIT clause: %q", sql)
 		}
 		again, err := Parse(sql)
 		if err != nil {

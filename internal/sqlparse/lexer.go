@@ -61,7 +61,7 @@ var keywords = map[string]bool{
 	"ORDER": true, "BY": true, "LIMIT": true, "BETWEEN": true,
 	"NOT": true, "NULL": true, "ASC": true, "DESC": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true,
-	"INDEX": true, "ON": true, "EXPLAIN": true,
+	"INDEX": true, "ON": true, "EXPLAIN": true, "ANALYZE": true,
 }
 
 // Lexer splits SQL text into tokens.

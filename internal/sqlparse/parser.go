@@ -11,6 +11,12 @@ import (
 // parser-rejection tests) can match it with errors.Is.
 var ErrUnknownFunction = errors.New("sqlparse: unknown function")
 
+// ErrAggregateOrderBy reports ORDER BY applied to a bare aggregate
+// select list. A single-group aggregate yields one row, so an ORDER BY
+// there is meaningless; rejecting it is MySQL-compatible enough and far
+// better than silently dropping the clause.
+var ErrAggregateOrderBy = errors.New("sqlparse: ORDER BY cannot be applied to an aggregate select list")
+
 // Parser is a recursive-descent parser over the token stream.
 type Parser struct {
 	toks []Token
@@ -105,9 +111,15 @@ func (p *Parser) parseStatement() (Statement, error) {
 	}
 }
 
-// parseExplain parses EXPLAIN <statement>. EXPLAIN does not nest.
+// parseExplain parses EXPLAIN [ANALYZE] <statement>. EXPLAIN does not
+// nest.
 func (p *Parser) parseExplain() (Statement, error) {
 	p.next() // EXPLAIN
+	analyze := false
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == "ANALYZE" {
+		p.next()
+		analyze = true
+	}
 	if t := p.peek(); t.Kind == TokKeyword && t.Text == "EXPLAIN" {
 		return nil, fmt.Errorf("sqlparse: EXPLAIN cannot be nested (offset %d)", t.Pos)
 	}
@@ -115,7 +127,7 @@ func (p *Parser) parseExplain() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Explain{Stmt: inner}, nil
+	return &Explain{Stmt: inner, Analyze: analyze}, nil
 }
 
 func (p *Parser) parseCreate() (Statement, error) {
@@ -215,7 +227,7 @@ func (p *Parser) parseSelect() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	sel := &Select{Exprs: exprs, Table: table}
+	sel := &Select{Exprs: exprs, Table: table, Limit: -1}
 	if p.peek().Kind == TokKeyword && p.peek().Text == "WHERE" {
 		p.next()
 		w, err := p.parseWhere()
@@ -236,6 +248,11 @@ func (p *Parser) parseSelect() (Statement, error) {
 		sel.OrderBy = col
 		if p.peek().Kind == TokKeyword && (p.peek().Text == "DESC" || p.peek().Text == "ASC") {
 			sel.Desc = p.next().Text == "DESC"
+		}
+		for _, e := range exprs {
+			if e.Agg != AggNone {
+				return nil, fmt.Errorf("%w (ORDER BY %s over %s)", ErrAggregateOrderBy, col, e.SQL())
+			}
 		}
 	}
 	if p.peek().Kind == TokKeyword && p.peek().Text == "LIMIT" {

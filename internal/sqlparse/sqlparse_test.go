@@ -91,6 +91,47 @@ func TestParseOrderLimit(t *testing.T) {
 	}
 }
 
+func TestParseNoLimitSentinel(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t").(*Select)
+	if sel.Limit != -1 {
+		t.Errorf("no-LIMIT sentinel = %d, want -1", sel.Limit)
+	}
+	if strings.Contains(sel.SQL(), "LIMIT") {
+		t.Errorf("SQL() renders a LIMIT clause without one: %q", sel.SQL())
+	}
+}
+
+func TestParseLimitZero(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t LIMIT 0").(*Select)
+	if sel.Limit != 0 {
+		t.Errorf("LIMIT 0 parsed as %d", sel.Limit)
+	}
+	want := "SELECT * FROM t LIMIT 0"
+	if got := sel.SQL(); got != want {
+		t.Errorf("SQL() = %q, want %q", got, want)
+	}
+}
+
+func TestParseAggregateOrderByRejected(t *testing.T) {
+	for _, src := range []string{
+		"SELECT COUNT(*) FROM t ORDER BY a",
+		"SELECT SUM(v) FROM t WHERE v > 1 ORDER BY v DESC LIMIT 3",
+	} {
+		_, err := Parse(src)
+		if err == nil {
+			t.Fatalf("Parse(%q) succeeded, want ErrAggregateOrderBy", src)
+		}
+		if !errors.Is(err, ErrAggregateOrderBy) {
+			t.Errorf("Parse(%q) error %v does not wrap ErrAggregateOrderBy", src, err)
+		}
+	}
+	// LIMIT without ORDER BY over an aggregate stays legal.
+	sel := mustParse(t, "SELECT COUNT(*) FROM t LIMIT 0").(*Select)
+	if sel.Limit != 0 {
+		t.Errorf("aggregate LIMIT 0 parsed as %d", sel.Limit)
+	}
+}
+
 func TestParseInsertMultiRow(t *testing.T) {
 	ins := mustParse(t, "INSERT INTO t (id, name) VALUES (1, 'a'), (2, 'b')").(*Insert)
 	if len(ins.Rows) != 2 || len(ins.Columns) != 2 {
@@ -174,6 +215,8 @@ func TestSQLRoundTrip(t *testing.T) {
 		"DELETE FROM t WHERE id != 3",
 		"CREATE TABLE customers (id INT PRIMARY KEY, name TEXT)",
 		"SELECT v FROM t ORDER BY v DESC LIMIT 5",
+		"SELECT v FROM t LIMIT 0",
+		"EXPLAIN ANALYZE SELECT v FROM t ORDER BY v LIMIT 2",
 	}
 	for _, src := range srcs {
 		stmt := mustParse(t, src)
@@ -350,6 +393,24 @@ func TestParseExplain(t *testing.T) {
 	}
 }
 
+func TestParseExplainAnalyze(t *testing.T) {
+	stmt := mustParse(t, "EXPLAIN ANALYZE SELECT name FROM customers ORDER BY age LIMIT 4")
+	ex, ok := stmt.(*Explain)
+	if !ok || !ex.Analyze {
+		t.Fatalf("got %T analyze=%v, want *Explain with Analyze", stmt, ok && ex.Analyze)
+	}
+	want := "EXPLAIN ANALYZE SELECT name FROM customers ORDER BY age LIMIT 4"
+	if got := ex.SQL(); got != want {
+		t.Errorf("SQL() = %q, want %q", got, want)
+	}
+	if plain := mustParse(t, "EXPLAIN SELECT * FROM t").(*Explain); plain.Analyze {
+		t.Error("plain EXPLAIN parsed with Analyze set")
+	}
+	if _, ok := mustParse(t, "EXPLAIN ANALYZE UPDATE t SET a = 1").(*Explain); !ok {
+		t.Error("EXPLAIN ANALYZE UPDATE did not parse to *Explain")
+	}
+}
+
 func TestParseExplainUpdateDelete(t *testing.T) {
 	if _, ok := mustParse(t, "EXPLAIN UPDATE t SET a = 1 WHERE id = 2").(*Explain); !ok {
 		t.Error("EXPLAIN UPDATE did not parse to *Explain")
@@ -363,6 +424,8 @@ func TestParseExplainErrors(t *testing.T) {
 	for _, src := range []string{
 		"EXPLAIN",
 		"EXPLAIN EXPLAIN SELECT * FROM t",
+		"EXPLAIN ANALYZE EXPLAIN SELECT * FROM t",
+		"EXPLAIN ANALYZE",
 		"EXPLAIN 42",
 	} {
 		if _, err := Parse(src); err == nil {

@@ -14,7 +14,7 @@ out="BENCH_$(date +%Y-%m-%d).json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
+go test -run '^$' -bench "$pattern" -benchmem . ./internal/engine/exec | tee "$raw"
 
 awk '
 BEGIN { print "[" ; first = 1 }

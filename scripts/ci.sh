@@ -40,7 +40,8 @@ echo "== bench smoke =="
 # benchmark that no longer compiles or errors at runtime (timing is
 # meaningless at -benchtime 1x; scripts/benchdiff.sh does the timing
 # comparison against the committed baseline).
-go test -run '^$' -bench 'PlanCache|BatchedThroughput' -benchtime 1x .
+go test -run '^$' -bench 'PlanCache|BatchedThroughput|SortedRead' -benchtime 1x .
+go test -run '^$' -bench 'TopN' -benchtime 1x ./internal/engine/exec
 
 echo "== fuzz smoke =="
 # One -fuzz target per invocation (a Go toolchain constraint).
@@ -52,6 +53,7 @@ fuzz ./internal/binlog FuzzParse
 fuzz ./internal/bufpool FuzzParseDump
 fuzz ./internal/bufpool FuzzDumpRoundTripBitflip
 fuzz ./internal/sqlparse FuzzParseExplain
+fuzz ./internal/sqlparse FuzzParseSelect
 
 echo "== crash torture seed matrix (-race) =="
 SNAPDB_TORTURE_SEEDS="${SNAPDB_TORTURE_SEEDS:-1,7,42}" \
