@@ -5,7 +5,7 @@
 //
 //	experiments [-quick] [-run E5]
 //
-// Without -run it executes the full suite E1..E13 plus the ablations.
+// Without -run it executes the full suite E1..E14 plus the ablations.
 // -quick shrinks workloads (fewer trials, smaller corpora) so the whole
 // suite finishes in well under a minute.
 package main
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced workloads (fewer trials, smaller corpora)")
-	run := flag.String("run", "", "run a single experiment by id (E1..E13, E5-ablation)")
+	run := flag.String("run", "", "run a single experiment by id (E1..E14, E5-ablation)")
 	flag.Parse()
 
 	if err := realMain(*quick, *run); err != nil {
@@ -50,6 +50,7 @@ func realMain(quick bool, run string) error {
 		{"E11", func(q bool) (experiments.Result, error) { return experiments.E11Mitigations(q) }},
 		{"E12", func(q bool) (experiments.Result, error) { return experiments.E12Scaling(q) }},
 		{"E13", func(q bool) (experiments.Result, error) { return experiments.E13CrashResidue(q) }},
+		{"E14", func(q bool) (experiments.Result, error) { return experiments.E14RetryResidue(q) }},
 	}
 	matched := false
 	for _, r := range runners {
@@ -64,7 +65,7 @@ func realMain(quick bool, run string) error {
 		fmt.Println(res.Render())
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q (want E1..E13 or E5-ablation)", run)
+		return fmt.Errorf("unknown experiment %q (want E1..E14 or E5-ablation)", run)
 	}
 	return nil
 }

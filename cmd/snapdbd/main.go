@@ -3,11 +3,20 @@
 // Usage:
 //
 //	snapdbd [-addr 127.0.0.1:7001] [-harden] [-idle-timeout 5m] [-datadir DIR]
+//	        [-stmt-timeout 0] [-max-concurrent 0] [-drain-timeout 10s]
 //
 // Clients speak the line protocol of internal/server; the simplest
 // client is:
 //
 //	printf "CREATE TABLE t (id INT PRIMARY KEY)\n" | nc 127.0.0.1 7001
+//
+// -stmt-timeout bounds each statement's execution (snapdb's
+// max_execution_time; 0 disables). -max-concurrent caps concurrently
+// executing statements; excess statements draw a retryable
+// "overloaded" ERR instead of queueing (0 = unlimited). On SIGINT or
+// SIGTERM the server drains gracefully — in-flight and pipelined
+// statements finish and flush — for at most -drain-timeout before
+// remaining connections are closed hard.
 //
 // -harden applies the mitigate package's hardened configuration
 // (secure heap deletion, no performance_schema, scrubbed processlist,
@@ -27,19 +36,29 @@
 // kills the process's storage at the 120th redo write; kinds are err,
 // torn, dropsync, bitflip, crash. SNAPDB_FAILPOINT_SEED seeds the
 // injector's randomness (torn lengths, flipped bits).
+//
+// SNAPDB_NETFAULTS does the same for the network layer: the same
+// "point=kind[@hit]" specs armed against the listener's connections
+// (points netread:srv, netwrite:srv, accept:srv; kinds reset,
+// partial, latency, blackhole), sharing SNAPDB_FAILPOINT_SEED.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
 	"snapdb/internal/engine"
 	"snapdb/internal/failpoint"
 	"snapdb/internal/mitigate"
+	"snapdb/internal/netfault"
 	"snapdb/internal/server"
 	"snapdb/internal/vfs"
 )
@@ -50,12 +69,19 @@ func main() {
 	datadir := flag.String("datadir", "", "persist to this directory and recover from it at boot (empty = memory-only)")
 	idle := flag.Duration("idle-timeout", server.DefaultIdleTimeout,
 		"close connections idle longer than this (0 or negative disables)")
+	stmtTimeout := flag.Duration("stmt-timeout", 0,
+		"abort statements running longer than this (0 disables; snapdb's max_execution_time)")
+	maxConcurrent := flag.Int("max-concurrent", 0,
+		"cap concurrently executing statements; excess get a retryable overloaded ERR (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"how long a SIGTERM/SIGINT drain waits for in-flight work before closing hard")
 	flag.Parse()
 
 	cfg := engine.Defaults()
 	if *harden {
 		cfg = mitigate.Harden(cfg, true)
 	}
+	cfg.StatementTimeout = *stmtTimeout
 	e, err := openEngine(cfg, *datadir)
 	if err != nil {
 		log.Fatalf("snapdbd: %v", err)
@@ -66,14 +92,67 @@ func main() {
 	} else {
 		srv.IdleTimeout = *idle
 	}
-	ready := make(chan net.Addr, 1)
+	srv.MaxConcurrent = *maxConcurrent
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("snapdbd: listen: %v", err)
+	}
+	if wrapped, err := wrapNetFaults(ln); err != nil {
+		log.Fatalf("snapdbd: %v", err)
+	} else {
+		ln = wrapped
+	}
+	fmt.Printf("snapdbd listening on %s (harden=%v)\n", ln.Addr(), *harden)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	shuttingDown := make(chan struct{})
+	drained := make(chan error, 1)
 	go func() {
-		a := <-ready
-		fmt.Printf("snapdbd listening on %s (harden=%v)\n", a, *harden)
+		s := <-sig
+		// Serve returns the moment the listener closes, while Shutdown
+		// is still draining handlers — main must wait on drained, not
+		// exit with Serve.
+		close(shuttingDown)
+		fmt.Printf("snapdbd: %v: draining (timeout %v)\n", s, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		drained <- srv.Shutdown(ctx)
 	}()
-	if err := srv.ListenAndServe(*addr, ready); err != nil {
+	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("snapdbd: %v", err)
 	}
+	select {
+	case <-shuttingDown:
+		if err := <-drained; err != nil {
+			log.Fatalf("snapdbd: drain: %v", err)
+		}
+		fmt.Println("snapdbd: drained cleanly")
+	default: // Serve ended without a signal (Close elsewhere)
+	}
+}
+
+// wrapNetFaults arms SNAPDB_NETFAULTS against ln, if set.
+func wrapNetFaults(ln net.Listener) (net.Listener, error) {
+	spec := os.Getenv("SNAPDB_NETFAULTS")
+	if spec == "" {
+		return ln, nil
+	}
+	var seed int64 = 1
+	if s := os.Getenv("SNAPDB_FAILPOINT_SEED"); s != "" {
+		var err error
+		seed, err = strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("SNAPDB_FAILPOINT_SEED: %w", err)
+		}
+	}
+	reg := failpoint.New(seed)
+	if err := reg.ArmSpec(spec); err != nil {
+		return nil, fmt.Errorf("SNAPDB_NETFAULTS: %w", err)
+	}
+	fmt.Printf("snapdbd: network fault injection armed: %s (seed %d)\n", spec, seed)
+	return netfault.WrapListener(ln, netfault.Config{Reg: reg, Label: "srv"}), nil
 }
 
 // openEngine builds the engine: memory-only without a datadir, or

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strconv"
 	"strings"
@@ -34,6 +35,15 @@ type ServerError struct{ Msg string }
 
 func (e *ServerError) Error() string { return "client: server: " + e.Msg }
 
+// ErrConnBroken reports a Conn poisoned by an earlier transport
+// failure. Once a write fails, a read fails, or a reply is malformed,
+// the request/reply framing may be desynchronized — a later reply
+// could be attributed to the wrong statement — so every subsequent
+// call fails fast with this error instead of risking a misattributed
+// result. Recovery is a new connection (or a ReliableConn, which
+// reconnects and replays automatically).
+var ErrConnBroken = errors.New("client: connection poisoned by earlier transport error")
+
 // BatchResult is one statement's outcome within ExecuteBatch: exactly
 // one of Result and Err is set.
 type BatchResult struct {
@@ -49,6 +59,10 @@ type Conn struct {
 	r       *bufio.Reader
 	sendBuf []byte
 	lineBuf []byte
+
+	// broken latches the first transport-level failure (see
+	// ErrConnBroken); statement-level ERR replies never set it.
+	broken bool
 
 	// Column-header interning: the raw COLS payload of the previous
 	// reply and the []string it parsed to (see readResult).
@@ -100,12 +114,23 @@ const (
 	dialBackoffCap   = 640 * time.Millisecond
 )
 
+// jitteredBackoff draws one full-jitter sleep: uniform in (0, envelope].
+// Full jitter (sleep = random(0, envelope), envelope doubling per
+// attempt) decorrelates the retry times of clients that failed
+// together — after a server restart or a network partition heals, a
+// deterministic schedule would march every waiting client back in
+// lockstep, re-creating the overload that made them back off. The +1
+// keeps the sleep nonzero so a tight dial loop cannot spin.
+func jitteredBackoff(envelope time.Duration) time.Duration {
+	return time.Duration(rand.Int63n(int64(envelope))) + 1
+}
+
 // DialContext connects to a snapdb server, retrying transient dial
 // failures (server still booting or recovering, connection refused)
-// with capped exponential backoff until the context's deadline or
-// cancellation. A server that just crashed takes a moment to replay
-// its logs; clients that redial with DialContext ride across the
-// recovery window instead of failing their first statement.
+// with capped exponential backoff and full jitter until the context's
+// deadline or cancellation. A server that just crashed takes a moment
+// to replay its logs; clients that redial with DialContext ride across
+// the recovery window instead of failing their first statement.
 func DialContext(ctx context.Context, addr string) (*Conn, error) {
 	var (
 		d       net.Dialer
@@ -123,7 +148,7 @@ func DialContext(ctx context.Context, addr string) (*Conn, error) {
 		}
 		select {
 		case <-ctx.Done():
-		case <-time.After(backoff):
+		case <-time.After(jitteredBackoff(backoff)):
 		}
 		if ctx.Err() != nil {
 			break
@@ -139,15 +164,25 @@ func DialContext(ctx context.Context, addr string) (*Conn, error) {
 // Close closes the connection.
 func (c *Conn) Close() error { return c.c.Close() }
 
+// poison latches the broken flag and returns err unchanged; every
+// transport-level failure funnels through here.
+func (c *Conn) poison(err error) error {
+	c.broken = true
+	return err
+}
+
 // Execute sends one statement and reads the response. Statements must
 // not contain newlines (the protocol is line-oriented).
 func (c *Conn) Execute(stmt string) (*Result, error) {
+	if c.broken {
+		return nil, ErrConnBroken
+	}
 	if strings.ContainsAny(stmt, "\r\n") {
 		return nil, fmt.Errorf("client: statement contains a newline")
 	}
 	c.sendBuf = append(append(c.sendBuf[:0], stmt...), '\n')
 	if _, err := c.c.Write(c.sendBuf); err != nil {
-		return nil, fmt.Errorf("client: send: %w", err)
+		return nil, c.poison(fmt.Errorf("client: send: %w", err))
 	}
 	return c.readResult()
 }
@@ -196,6 +231,9 @@ func (c *Conn) explainLines(query string) ([]string, error) {
 // blank lines without replying, so an empty statement would desync
 // the reply stream.
 func (c *Conn) ExecuteBatch(stmts []string) ([]BatchResult, error) {
+	if c.broken {
+		return nil, ErrConnBroken
+	}
 	if len(stmts) == 0 {
 		return nil, nil
 	}
@@ -216,7 +254,7 @@ func (c *Conn) ExecuteBatch(stmts []string) ([]BatchResult, error) {
 		batch.WriteByte('\n')
 	}
 	if _, err := io.WriteString(c.c, batch.String()); err != nil {
-		return nil, fmt.Errorf("client: send batch: %w", err)
+		return nil, c.poison(fmt.Errorf("client: send batch: %w", err))
 	}
 	out := make([]BatchResult, 0, len(stmts))
 	for range stmts {
@@ -231,13 +269,26 @@ func (c *Conn) ExecuteBatch(stmts []string) ([]BatchResult, error) {
 }
 
 // readResult parses one statement reply. An ERR reply comes back as a
-// *ServerError; any other error means the connection is broken.
+// *ServerError; any other error means the connection is broken, so the
+// Conn is poisoned (ErrConnBroken from then on).
+func (c *Conn) readResult() (*Result, error) {
+	res, err := c.readReply()
+	if err != nil {
+		var se *ServerError
+		if !errors.As(err, &se) {
+			_ = c.poison(err)
+		}
+	}
+	return res, err
+}
+
+// readReply parses one reply off the wire.
 //
 // Parsing works on the reader's byte slices directly: the only strings
 // materialized are the ones the caller keeps (column names, values,
 // error text). The reply path runs once per statement on every remote
 // workload, so reply framing must not allocate.
-func (c *Conn) readResult() (*Result, error) {
+func (c *Conn) readReply() (*Result, error) {
 	line, err := c.readLine()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,43 @@
+package client
+
+import (
+	"testing"
+
+	"snapdb/internal/server"
+)
+
+// FuzzDecodeValue cross-validates the client's byte-slice value parser
+// against the server's string one on arbitrary input — the two must
+// accept and reject identically, or a value the server renders could
+// be unreadable (or worse, misread) by the client. Accepted values
+// must survive a re-encode round trip.
+func FuzzDecodeValue(f *testing.F) {
+	for _, seed := range []string{
+		"i:42", "i:-7", "i:9223372036854775807", "i:", "i:12x",
+		"s:hello", `s:a\tb`, `s:trailing\`, `s:\x`, "s:",
+		"", "x:nope", "i", "s", "si:1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		cv, cerr := decodeValue([]byte(in))
+		sv, serr := server.DecodeValue(in)
+		if (cerr == nil) != (serr == nil) {
+			t.Fatalf("decoders disagree on %q: client err %v, server err %v", in, cerr, serr)
+		}
+		if cerr != nil {
+			return
+		}
+		if cv != sv {
+			t.Fatalf("decoders diverge on %q: client %+v, server %+v", in, cv, sv)
+		}
+		re := server.EncodeValue(cv)
+		rv, err := decodeValue([]byte(re))
+		if err != nil {
+			t.Fatalf("re-encoded %q -> %q no longer decodes: %v", in, re, err)
+		}
+		if rv != cv {
+			t.Fatalf("round trip of %q changed the value: %+v -> %+v", in, cv, rv)
+		}
+	})
+}

@@ -23,6 +23,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -61,6 +62,15 @@ type Config struct {
 	HistoryPerThread  int           // default perfschema.DefaultHistoryPerThread
 	SlowThreshold     time.Duration // default dblog.DefaultSlowThreshold
 	DisableSlowLog    bool          // default false: slow log is common in production
+
+	// StatementTimeout bounds one statement's execution: a statement
+	// whose scan outlives it aborts with ErrStatementTimeout. The check
+	// runs at scan-leaf row boundaries (every few dozen examined rows),
+	// so a statement that never times out fetches exactly the pages it
+	// always fetched, and a timed-out UPDATE/DELETE aborts during its
+	// scan half, before any mutation applies. Zero (the default)
+	// disables the timeout, like MySQL's max_execution_time=0.
+	StatementTimeout time.Duration
 
 	// DisableSortOptimizations forces every ORDER BY back to the full
 	// Sort (+ separate Limit) plan shape, turning off the TopN
@@ -297,11 +307,22 @@ func (e *Engine) attachPersist(fs vfs.FS, redoOff, undoOff, blogOff int64) error
 // Config returns the normalized configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// ErrStatementTimeout is the typed error a statement aborts with when
+// it exceeds Config.StatementTimeout. It surfaces through the server as
+// an ordinary ERR reply; the statement has no side effects (the scan
+// half aborts before any mutation runs), so clients may safely resubmit.
+var ErrStatementTimeout = errors.New("engine: statement timeout exceeded")
+
 // Session is one client connection.
 type Session struct {
 	eng  *Engine
 	ID   int
 	User string
+
+	// deadline is the running statement's absolute cutoff (zero when
+	// Config.StatementTimeout is off); executeWith arms it per statement
+	// and the exec scan leaves consult it via deadlineCheck.
+	deadline time.Time
 
 	// histPtrs holds the heap blocks backing this session's
 	// events_statements_history ring: the statement text stays live for
@@ -355,11 +376,47 @@ func (s *Session) Execute(query string) (*Result, error) {
 	return s.executeWith(query, (*Engine).execute)
 }
 
+// NoteReplay records the arrival of a statement the server answered
+// from its exactly-once dedup cache instead of executing. Like MySQL's
+// general log, the log records arrivals, not executions — so a
+// replayed retry leaves a duplicate general-log record (same text, a
+// later timestamp) without touching any other artifact. That residue
+// is precisely the retry-forensics channel E14 measures.
+func (s *Session) NoteReplay(query string) {
+	e := s.eng
+	e.general.Record(dblog.Entry{Timestamp: e.Clock(), Session: s.ID, Statement: query})
+}
+
+// deadlineCheck returns the exec-layer deadline check for the running
+// statement, or nil when no deadline is armed (the common case — a nil
+// check keeps the scan loop's fast path branch-predictable).
+func (s *Session) deadlineCheck() exec.DeadlineCheck {
+	if s.deadline.IsZero() {
+		return nil
+	}
+	e, dl := s.eng, s.deadline
+	return func() error {
+		if e.ExecClock().After(dl) {
+			return fmt.Errorf("%w (max_execution_time %v)", ErrStatementTimeout, e.cfg.StatementTimeout)
+		}
+		return nil
+	}
+}
+
 // executeWith is Execute with the execution back half injected.
 func (s *Session) executeWith(query string, fn execFn) (*Result, error) {
 	e := s.eng
 	start := e.ExecClock()
 	ts := e.Clock()
+
+	// Arm (or clear) the statement deadline. The scan leaves consult it
+	// via Session.deadlineCheck at row boundaries; everything else on
+	// the statement path runs in bounded time.
+	if e.cfg.StatementTimeout > 0 {
+		s.deadline = start.Add(e.cfg.StatementTimeout)
+	} else {
+		s.deadline = time.Time{}
+	}
 
 	// Statement pipeline front half: a plan-cache hit skips the lexer
 	// and parser and reuses the digest computed when the statement text
@@ -715,6 +772,7 @@ func (e *Engine) execSelect(s *Session, st *sqlparse.Select, pl *plan, query str
 		return nil, pp.whereErr
 	}
 	pi := pp.instantiate(e.fc)
+	pi.armDeadline(s.deadlineCheck())
 	rows, err := pi.drain()
 	if err != nil {
 		return nil, err
@@ -813,6 +871,10 @@ func (e *Engine) execUpdate(s *Session, st *sqlparse.Update, pl *plan, query str
 		return nil, pp.whereErr
 	}
 	pi := pp.instantiate(e.fc)
+	// The deadline arms only the scan half: a timed-out UPDATE aborts
+	// here, before any WAL record or index mutation, so it has no
+	// partial effects and is safe to resubmit.
+	pi.armDeadline(s.deadlineCheck())
 	rows, err := pi.drain()
 	if err != nil {
 		return nil, err
@@ -869,6 +931,9 @@ func (e *Engine) execDelete(s *Session, st *sqlparse.Delete, pl *plan, query str
 		return nil, pp.whereErr
 	}
 	pi := pp.instantiate(e.fc)
+	// Scan-half only, like UPDATE: no row is deleted once the deadline
+	// fires mid-scan.
+	pi.armDeadline(s.deadlineCheck())
 	rows, err := pi.drain()
 	if err != nil {
 		return nil, err

@@ -63,6 +63,20 @@ type Operator interface {
 // typed so callers can distinguish "not implemented" from data errors.
 var ErrUnsupportedAggregate = errors.New("unsupported aggregate")
 
+// DeadlineCheck reports whether the running statement has exceeded its
+// deadline: nil to keep going, a typed error (engine.ErrStatementTimeout
+// wrapped with context) to abort. Scan leaves call it at row boundaries
+// during their Open-time traversal — the only long-running loops in the
+// tree — so a statement that never times out fetches exactly the pages
+// it always fetched, and one that does stops mid-traversal before the
+// mutation half of UPDATE/DELETE can start.
+type DeadlineCheck func() error
+
+// deadlineCheckInterval is how many examined rows pass between deadline
+// checks: frequent enough to bound a runaway scan in microseconds of
+// overshoot, sparse enough to keep the clock read off the per-row path.
+const deadlineCheckInterval = 64
+
 // sampleFetches reads fc, tolerating nil.
 func sampleFetches(fc FetchCounter) uint64 {
 	if fc == nil {

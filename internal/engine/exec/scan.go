@@ -26,6 +26,27 @@ type scanBase struct {
 	buf   []storage.Record
 	pos   int
 	stats Stats
+
+	// dl, when set, is consulted every deadlineCheckInterval examined
+	// rows during the traversal; dlErr records the abort it raised.
+	dl    DeadlineCheck
+	dlErr error
+}
+
+// SetDeadlineCheck arms the statement-deadline check on this leaf. It
+// must be called before Open; a nil check (the default) disables it.
+func (s *scanBase) SetDeadlineCheck(dc DeadlineCheck) { s.dl = dc }
+
+// checkDeadline evaluates the armed check, recording the error.
+func (s *scanBase) checkDeadline() error {
+	if s.dl == nil {
+		return nil
+	}
+	if err := s.dl(); err != nil {
+		s.dlErr = err
+		return err
+	}
+	return nil
 }
 
 // reverse flips the emission order of the buffered rows (no-op unless
@@ -60,8 +81,16 @@ func (s *scanBase) Stats() Stats         { return s.stats }
 func (s *scanBase) Children() []Operator { return nil }
 
 // visit is the shared traversal callback: count and buffer every row.
+// At every deadlineCheckInterval-th row it evaluates the armed deadline
+// check and stops the traversal if the statement has run out of time —
+// the scan boundary where a runaway statement actually surfaces.
 func (s *scanBase) visit(r storage.Record) bool {
 	s.stats.RowsExamined++
+	if s.dl != nil && s.stats.RowsExamined%deadlineCheckInterval == 0 {
+		if s.checkDeadline() != nil {
+			return false
+		}
+	}
 	s.buf = append(s.buf, r)
 	return true
 }
@@ -94,12 +123,18 @@ func (s *FullScan) Init(tree *btree.Tree, hint int64, rev bool, desc string, fc 
 
 // Open runs the traversal.
 func (s *FullScan) Open() error {
+	if err := s.checkDeadline(); err != nil {
+		return err
+	}
 	if s.hint > 0 && s.hint <= 1<<16 {
 		s.buf = make([]storage.Record, 0, s.hint)
 	}
 	before := sampleFetches(s.fc)
 	err := s.tree.Scan(s.visit)
 	s.stats.PoolFetches += sampleFetches(s.fc) - before
+	if err == nil && s.dlErr != nil {
+		return s.dlErr
+	}
 	s.reverse()
 	return err
 }
@@ -128,10 +163,16 @@ func (s *IndexPointScan) Init(tree *btree.Tree, key sqlparse.Value, desc string,
 // Open runs the point traversal. A point lookup matches at most one
 // row in a unique tree, so the buffer is pre-sized to one.
 func (s *IndexPointScan) Open() error {
+	if err := s.checkDeadline(); err != nil {
+		return err
+	}
 	s.buf = make([]storage.Record, 0, 1)
 	before := sampleFetches(s.fc)
 	err := s.tree.Range(s.key, s.key, s.visit)
 	s.stats.PoolFetches += sampleFetches(s.fc) - before
+	if err == nil && s.dlErr != nil {
+		return s.dlErr
+	}
 	return err
 }
 
@@ -159,9 +200,15 @@ func (s *IndexRangeScan) Init(tree *btree.Tree, lo, hi sqlparse.Value, rev bool,
 
 // Open runs the range traversal.
 func (s *IndexRangeScan) Open() error {
+	if err := s.checkDeadline(); err != nil {
+		return err
+	}
 	before := sampleFetches(s.fc)
 	err := s.tree.Range(s.lo, s.hi, s.visit)
 	s.stats.PoolFetches += sampleFetches(s.fc) - before
+	if err == nil && s.dlErr != nil {
+		return s.dlErr
+	}
 	s.reverse()
 	return err
 }

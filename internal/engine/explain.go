@@ -108,7 +108,7 @@ func (e *Engine) execExplainAnalyze(s *Session, st *sqlparse.Explain, ts int64) 
 		mu := e.locks.shared(inner.Table)
 		defer mu.RUnlock()
 		e.simulateIO()
-		return e.execExplainAnalyzeSelect(inner)
+		return e.execExplainAnalyzeSelect(s, inner)
 	case *sqlparse.Update:
 		mu := e.locks.exclusive(inner.Table)
 		defer mu.Unlock()
@@ -136,7 +136,7 @@ func (e *Engine) execExplainAnalyze(s *Session, st *sqlparse.Explain, ts int64) 
 // result rows are discarded — the client gets the annotated tree, as
 // in MySQL — but the execution is complete: every page the bare SELECT
 // would fetch is fetched, in the same order.
-func (e *Engine) execExplainAnalyzeSelect(st *sqlparse.Select) (*Result, error) {
+func (e *Engine) execExplainAnalyzeSelect(s *Session, st *sqlparse.Select) (*Result, error) {
 	t, err := e.lookupTable(st.Table)
 	if err != nil {
 		return nil, err
@@ -146,6 +146,7 @@ func (e *Engine) execExplainAnalyzeSelect(st *sqlparse.Select) (*Result, error) 
 		return nil, pp.whereErr
 	}
 	pi := pp.instantiate(e.fc)
+	pi.armDeadline(s.deadlineCheck())
 	if _, err := pi.drain(); err != nil {
 		return nil, err
 	}

@@ -383,6 +383,19 @@ func (pp *physicalPlan) instantiate(fc exec.FetchCounter) *planInstance {
 	return pi
 }
 
+// armDeadline installs the statement-deadline check on the scan leaf.
+// Only the leaf runs an unbounded loop (its Open-time traversal), so
+// arming it bounds the whole tree; a nil check is a no-op, keeping the
+// no-timeout path identical to the pre-deadline executor.
+func (pi *planInstance) armDeadline(dc exec.DeadlineCheck) {
+	if dc == nil {
+		return
+	}
+	if da, ok := pi.leaf.(interface{ SetDeadlineCheck(exec.DeadlineCheck) }); ok {
+		da.SetDeadlineCheck(dc)
+	}
+}
+
 // drain runs the tree to completion via the Volcano protocol and
 // returns the root's rows.
 func (pi *planInstance) drain() ([]storage.Record, error) {

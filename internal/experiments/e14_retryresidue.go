@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"snapdb/internal/client"
+	"snapdb/internal/engine"
+	"snapdb/internal/failpoint"
+	"snapdb/internal/netfault"
+	"snapdb/internal/server"
+)
+
+// E14Result extends §3 to the reliability layer itself: the machinery
+// that makes retries safe — server-side reply caching and sequence
+// deduplication — is a recording surface. A reply lost on the wire is
+// re-requested, and the replayed arrival (a) leaves a duplicate
+// general-log record whose timestamp gap measures the client's retry
+// latency, and (b) proves the server was holding the full rendered
+// reply, result rows included, long after the statement finished. An
+// analyst with the general log reconstructs the fault timeline; an
+// attacker imaging server memory reads query results out of the dedup
+// cache; and a client that vanishes without a goodbye leaves its
+// session — cache included — resumable by anyone holding the token.
+type E14Result struct {
+	Runs             int   // faulted runs executed
+	Faults           int   // runs whose armed reply-write fault fired
+	ReplayRuns       int   // runs leaving >=1 duplicate general-log record
+	DuplicateRecords int   // duplicate general-log records across all runs
+	MaxReplayGap     int64 // widest clock gap original->replayed arrival (ticks)
+	SecretRuns       int   // runs retaining the secret result in the dedup cache
+	DigestMatches    int   // runs whose final state matched the fault-free run
+	OrphanRetained   bool  // abandoned session still held after raw disconnect
+}
+
+// Name implements Result.
+func (*E14Result) Name() string { return "E14" }
+
+// Render implements Result.
+func (r *E14Result) Render() string {
+	t := &table{header: []string{"metric", "value"}}
+	t.add("reply-write fault points exercised", fmt.Sprintf("%d/%d", r.Faults, r.Runs))
+	t.add("exactly-once digests (must be all)", fmt.Sprintf("%d/%d", r.DigestMatches, r.Runs))
+	t.add("runs with duplicate general-log records", fmt.Sprintf("%d", r.ReplayRuns))
+	t.add("duplicate records (replayed arrivals)", fmt.Sprintf("%d", r.DuplicateRecords))
+	t.add("widest original->replay clock gap", fmt.Sprintf("%d ticks", r.MaxReplayGap))
+	t.add("runs with secret result in dedup cache", fmt.Sprintf("%d", r.SecretRuns))
+	t.add("abandoned session retained server-side", fmt.Sprintf("%v", r.OrphanRetained))
+	return "E14 (§3 extension): retry machinery as a forensic surface\n" + t.String()
+}
+
+// e14Secret is a result value that only ever travels inside one SELECT
+// reply — finding it in the server's dedup cache means the retry layer
+// retains query results beyond their delivery.
+const e14Secret = "retry-cache-secret-7733"
+
+func e14Workload() []string {
+	stmts := []string{"CREATE TABLE vault (id INT PRIMARY KEY, label TEXT, amount INT)"}
+	for i := 0; i < 8; i++ {
+		stmts = append(stmts, fmt.Sprintf(
+			"INSERT INTO vault (id, label, amount) VALUES (%d, 'routine-%02d', %d)", i, i, 100*i))
+	}
+	stmts = append(stmts,
+		fmt.Sprintf("INSERT INTO vault (id, label, amount) VALUES (90, '%s', 999999)", e14Secret),
+		"SELECT label, amount FROM vault WHERE id = 90",
+		"UPDATE vault SET amount = 1 WHERE id = 3",
+		"SELECT COUNT(*) FROM vault",
+	)
+	return stmts
+}
+
+// E14RetryResidue arms a one-shot fault at every k-th server write —
+// the write that carries a statement's reply — and drives the workload
+// through a ReliableConn. Losing a reply after execution forces the
+// client's resend down the dedup path: the state digest must stay
+// identical to the fault-free run (exactly-once), while the general
+// log accumulates duplicate arrivals and the dedup cache retains the
+// secret-bearing SELECT reply. Finally it abandons a raw session
+// without !bye to show the orphaned session (cache included) stays
+// resumable server-side.
+func E14RetryResidue(quick bool) (*E14Result, error) {
+	// Dry run: wrapped but unarmed, to enumerate the reply writes and
+	// capture the fault-free reference artifacts.
+	dryReg := failpoint.New(1)
+	refDigest, refLog, _, err := e14Run(dryReg)
+	if err != nil {
+		return nil, fmt.Errorf("E14: dry run: %w", err)
+	}
+	total := int(dryReg.PointHits("netwrite:srv"))
+	if total < 4 {
+		return nil, fmt.Errorf("E14: dry run saw only %d reply writes", total)
+	}
+
+	stride := 1
+	if quick {
+		stride = 3
+	}
+	res := &E14Result{}
+	for k := 1; k <= total; k += stride {
+		reg := failpoint.New(1)
+		// Alternate the failure flavor: a clean reset and a torn
+		// partial write exercise different client-side detection paths,
+		// but both lose a reply that the server already rendered.
+		kind := failpoint.KindReset
+		if k%2 == 0 {
+			kind = failpoint.KindPartial
+		}
+		reg.Arm("netwrite:srv", kind, uint64(k))
+
+		digest, glog, secret, err := e14Run(reg)
+		if err != nil {
+			return nil, fmt.Errorf("E14: kill-point %d: %w", k, err)
+		}
+		res.Runs++
+		if secret {
+			res.SecretRuns++
+		}
+		if reg.PointHits("netwrite:srv") >= uint64(k) {
+			res.Faults++
+		}
+		if digest == refDigest {
+			res.DigestMatches++
+		}
+		dups := 0
+		for stmt, ts := range glog {
+			extra := len(ts) - len(refLog[stmt])
+			if extra <= 0 {
+				continue
+			}
+			dups += extra
+			// The gap between the original arrival and its replay is the
+			// client's detect-reconnect-resend latency, readable by
+			// anyone holding the general log.
+			for i := 1; i < len(ts); i++ {
+				if gap := ts[i] - ts[i-1]; gap > res.MaxReplayGap {
+					res.MaxReplayGap = gap
+				}
+			}
+		}
+		if dups > 0 {
+			res.ReplayRuns++
+			res.DuplicateRecords += dups
+		}
+	}
+	if res.Faults == 0 {
+		return nil, fmt.Errorf("E14: no reply-write fault fired")
+	}
+	if res.DigestMatches != res.Runs {
+		return nil, fmt.Errorf("E14: exactly-once violated: %d/%d digests matched", res.DigestMatches, res.Runs)
+	}
+	if res.SecretRuns == 0 {
+		return nil, fmt.Errorf("E14: secret never found in the dedup cache — retention channel not reproduced")
+	}
+	if res.ReplayRuns == 0 {
+		return nil, fmt.Errorf("E14: no run left duplicate general-log records — replay channel not reproduced")
+	}
+
+	orphan, err := e14Abandon()
+	if err != nil {
+		return nil, fmt.Errorf("E14: abandonment probe: %w", err)
+	}
+	res.OrphanRetained = orphan
+	return res, nil
+}
+
+// e14Serve starts a server on a netfault-wrapped loopback listener
+// (reg nil = unwrapped) with a deterministic engine clock.
+func e14Serve(reg *failpoint.Registry) (addr string, e *engine.Engine, srv *server.Server, stop func() error, err error) {
+	cfg := engine.Defaults()
+	cfg.EnableGeneralLog = true
+	e, err = engine.New(cfg)
+	if err != nil {
+		return "", nil, nil, nil, err
+	}
+	now := int64(1_700_000_000)
+	e.Clock = func() int64 { now++; return now }
+	srv = server.New(e)
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, nil, nil, err
+	}
+	var ln net.Listener = raw
+	if reg != nil {
+		ln = netfault.WrapListener(raw, netfault.Config{Reg: reg, Label: "srv", Hold: time.Millisecond})
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return raw.Addr().String(), e, srv, func() error {
+		_ = srv.Close()
+		return <-done
+	}, nil
+}
+
+// e14Run drives the workload through one faulted (or fault-free)
+// server and collects the run's forensic artifacts: the state digest,
+// the general log as statement -> arrival timestamps, and whether the
+// secret SELECT reply sat in the dedup cache. The cache scan must
+// happen while the session is alive, which is exactly the point: the
+// replies are retained until the client says goodbye or a TTL fires.
+func e14Run(reg *failpoint.Registry) (digest string, glog map[string][]int64, secret bool, err error) {
+	addr, e, srv, stop, err := e14Serve(reg)
+	if err != nil {
+		return "", nil, false, err
+	}
+	defer stop() //nolint:errcheck // hard-stop after inspection
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rc, err := client.DialReliable(ctx, addr, client.RetryConfig{
+		BackoffFloor: time.Millisecond,
+		BackoffCap:   20 * time.Millisecond,
+		MaxAttempts:  50,
+	})
+	if err != nil {
+		return "", nil, false, err
+	}
+	for i, q := range e14Workload() {
+		if _, err := rc.Execute(ctx, q); err != nil {
+			_ = rc.Close()
+			return "", nil, false, fmt.Errorf("stmt %d (%q): %w", i, q, err)
+		}
+	}
+
+	// Image the dedup cache while the session is still attached.
+	for _, reply := range srv.RetainedReplies() {
+		if strings.Contains(string(reply), e14Secret) {
+			secret = true
+			break
+		}
+	}
+	_ = rc.Close()
+
+	digest, err = e.StateDigest()
+	if err != nil {
+		return "", nil, false, err
+	}
+	glog = make(map[string][]int64)
+	for _, en := range e.GeneralLog().Entries() {
+		glog[en.Statement] = append(glog[en.Statement], en.Timestamp)
+	}
+	return digest, glog, secret, nil
+}
+
+// e14Abandon opens a raw control session, executes one statement, and
+// disconnects without !bye. Returns whether the server still retains
+// the session afterwards — the orphan-retention channel.
+func e14Abandon() (bool, error) {
+	addr, _, srv, stop, err := e14Serve(nil)
+	if err != nil {
+		return false, err
+	}
+	defer stop() //nolint:errcheck
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return false, err
+	}
+	r := bufio.NewReader(conn)
+	exchange := func(line string) (string, error) {
+		if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+			return "", err
+		}
+		reply, err := r.ReadString('\n')
+		return strings.TrimRight(reply, "\n"), err
+	}
+	if reply, err := exchange("!hello"); err != nil || !strings.HasPrefix(reply, "!session ") {
+		_ = conn.Close()
+		return false, fmt.Errorf("hello reply %q: %v", reply, err)
+	}
+	if reply, err := exchange("!q 1 CREATE TABLE orphan (id INT PRIMARY KEY)"); err != nil || !strings.HasPrefix(reply, "OK ") {
+		_ = conn.Close()
+		return false, fmt.Errorf("stamped statement reply %q: %v", reply, err)
+	}
+	_ = conn.Close() // vanish: no !bye
+
+	// Give the handler a moment to notice the disconnect and detach;
+	// the session must survive the detach (that is the retention bug
+	// being measured — only the TTL reaps it).
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.ResumeSessionCount() > 0 {
+			time.Sleep(10 * time.Millisecond) // let the detach land too
+			return srv.ResumeSessionCount() > 0, nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false, nil
+}

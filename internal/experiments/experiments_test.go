@@ -294,7 +294,7 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 13 {
+	if len(results) != 14 {
 		t.Fatalf("got %d experiments", len(results))
 	}
 	seen := map[string]bool{}
@@ -327,6 +327,31 @@ func TestE13CrashResidue(t *testing.T) {
 		t.Error("no uncommitted writes reconstructed")
 	}
 	if !strings.Contains(res.Render(), "E13") {
+		t.Error("render missing experiment id")
+	}
+}
+
+func TestE14RetryResidue(t *testing.T) {
+	res, err := E14RetryResidue(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults == 0 {
+		t.Error("no reply-write fault fired")
+	}
+	if res.DigestMatches != res.Runs {
+		t.Errorf("exactly-once violated: %d/%d digests matched", res.DigestMatches, res.Runs)
+	}
+	if res.ReplayRuns == 0 {
+		t.Error("no run left duplicate general-log records")
+	}
+	if res.SecretRuns == 0 {
+		t.Error("secret never found in the dedup cache")
+	}
+	if !res.OrphanRetained {
+		t.Error("abandoned session was not retained")
+	}
+	if !strings.Contains(res.Render(), "E14") {
 		t.Error("render missing experiment id")
 	}
 }

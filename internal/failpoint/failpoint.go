@@ -40,6 +40,23 @@ const (
 	// write (if any) is torn, and every subsequent operation fails
 	// with ErrCrashed.
 	KindCrash
+	// Network fault kinds, consumed by internal/netfault's Conn and
+	// Listener wrappers (the file layer never injects them). They mirror
+	// the storage kinds: Reset is the network's KindErr, Partial its
+	// KindTorn.
+
+	// KindReset closes the connection and fails the operation: the
+	// mid-statement TCP RST a dying peer or middlebox produces.
+	KindReset
+	// KindPartial delivers a seeded prefix of a write, then resets —
+	// the half-flushed reply a crash leaves on the wire.
+	KindPartial
+	// KindLatency delays the operation a seeded duration, then performs
+	// it normally: congestion and scheduling jitter.
+	KindLatency
+	// KindBlackhole makes a read hang (no bytes, no error) for the
+	// configured hold, then resets: the silently dropped route.
+	KindBlackhole
 )
 
 func (k Kind) String() string {
@@ -54,6 +71,14 @@ func (k Kind) String() string {
 		return "bitflip"
 	case KindCrash:
 		return "crash"
+	case KindReset:
+		return "reset"
+	case KindPartial:
+		return "partial"
+	case KindLatency:
+		return "latency"
+	case KindBlackhole:
+		return "blackhole"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -61,7 +86,7 @@ func (k Kind) String() string {
 
 // kindFromName parses a Kind name as used in failpoint specs.
 func kindFromName(s string) (Kind, error) {
-	for k := KindErr; k <= KindCrash; k++ {
+	for k := KindErr; k <= KindBlackhole; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -110,12 +135,13 @@ type Registry struct {
 	rng     *rand.Rand
 	rules   []*Rule
 	total   uint64
+	byPoint map[string]uint64
 	crashed bool
 }
 
 // New creates a registry whose fault randomness derives from seed.
 func New(seed int64) *Registry {
-	return &Registry{rng: rand.New(rand.NewSource(seed))}
+	return &Registry{rng: rand.New(rand.NewSource(seed)), byPoint: make(map[string]uint64)}
 }
 
 // Arm adds a rule. Rules are evaluated in arming order; the first
@@ -167,6 +193,7 @@ func (r *Registry) Eval(point string) (Kind, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.total++
+	r.byPoint[point]++
 	if r.crashed {
 		return KindCrash, true
 	}
@@ -202,6 +229,16 @@ func (r *Registry) TotalHits() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.total
+}
+
+// PointHits returns how many operations have been evaluated at exactly
+// the named point. The network-torture dry runs use it to enumerate a
+// single point's fault schedule (e.g. every "netwrite:srv" operation)
+// without counting the other points' traffic.
+func (r *Registry) PointHits(point string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byPoint[point]
 }
 
 // Intn returns a seeded pseudo-random int in [0, n), for torn-write

@@ -1,0 +1,177 @@
+// Package netfault implements seeded, deterministic fault injection
+// for the network layer: net.Conn and net.Listener wrappers that
+// consult a failpoint registry before every read, write, and accept —
+// the wire analog of internal/vfs.FaultFS.
+//
+// Point names are "netread:<label>", "netwrite:<label>", and
+// "accept:<label>", so a harness can target one direction of one
+// server's traffic ("netwrite:srv=partial@7") or everything ("*").
+// The supported kinds are the network members of failpoint.Kind:
+//
+//   - reset: close the connection and fail the operation (a TCP RST);
+//   - partial: deliver a seeded prefix of a write, then reset;
+//   - latency: delay the operation a seeded duration, then perform it;
+//   - blackhole: a read hangs silently for the configured hold, then
+//     resets (the dropped-route failure mode);
+//   - err: fail the operation without closing (a transient EIO-like
+//     error), mostly useful on accept.
+//
+// Determinism mirrors the storage harness: all randomness (partial
+// lengths, latency durations) comes from the registry's seeded
+// generator, and rule hit counts give a reproducible fault schedule
+// for a serial workload. What stays nondeterministic is goroutine
+// interleaving across connections — the network-torture harness
+// therefore asserts invariants (exactly-once application, digest
+// equality) rather than exact traces.
+package netfault
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"snapdb/internal/failpoint"
+)
+
+// ErrInjectedReset is the error surfaced by operations failed via
+// reset, partial, or blackhole faults. The underlying connection is
+// closed first, so the peer observes a real connection teardown.
+var ErrInjectedReset = errors.New("netfault: injected connection reset")
+
+// Config parameterizes the wrappers.
+type Config struct {
+	// Reg is the failpoint registry driving injection. Required.
+	Reg *failpoint.Registry
+	// Label is the point-name suffix ("netread:<label>"); it defaults
+	// to "conn" so a single-server harness can arm "netwrite:conn".
+	Label string
+	// LatencyMax caps one injected latency sleep; the seeded duration
+	// is uniform in (0, LatencyMax]. Default 2ms.
+	LatencyMax time.Duration
+	// Hold is how long a blackholed read stays silent before the
+	// connection resets. Default 25ms.
+	Hold time.Duration
+}
+
+func (c Config) normalized() Config {
+	if c.Label == "" {
+		c.Label = "conn"
+	}
+	if c.LatencyMax <= 0 {
+		c.LatencyMax = 2 * time.Millisecond
+	}
+	if c.Hold <= 0 {
+		c.Hold = 25 * time.Millisecond
+	}
+	return c
+}
+
+// Listener wraps a net.Listener: accepted connections are wrapped in
+// fault-injecting Conns, and the accept path itself can fault.
+type Listener struct {
+	ln  net.Listener
+	cfg Config
+}
+
+// WrapListener wraps ln with fault injection driven by cfg.Reg.
+func WrapListener(ln net.Listener, cfg Config) *Listener {
+	return &Listener{ln: ln, cfg: cfg.normalized()}
+}
+
+// Accept implements net.Listener. An armed accept fault applies to the
+// next accepted connection: reset closes it immediately after the
+// handshake (the client sees its first operation fail), latency delays
+// the accept, err fails the Accept call without a connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	kind, fired := l.cfg.Reg.Eval("accept:" + l.cfg.Label)
+	if fired && kind == failpoint.KindErr {
+		return nil, failpoint.ErrInjected
+	}
+	if fired && kind == failpoint.KindLatency {
+		time.Sleep(l.cfg.seededLatency())
+	}
+	c, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if fired && (kind == failpoint.KindReset || kind == failpoint.KindPartial || kind == failpoint.KindBlackhole) {
+		_ = c.Close()
+	}
+	return WrapConn(c, l.cfg), nil
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Conn wraps a net.Conn with read/write fault injection.
+type Conn struct {
+	net.Conn
+	cfg Config
+}
+
+// WrapConn wraps c with fault injection driven by cfg.Reg.
+func WrapConn(c net.Conn, cfg Config) *Conn {
+	return &Conn{Conn: c, cfg: cfg.normalized()}
+}
+
+// seededLatency draws one latency duration from the registry.
+func (c Config) seededLatency() time.Duration {
+	return time.Duration(c.Reg.Intn(int(c.LatencyMax))) + 1
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	kind, fired := c.cfg.Reg.Eval("netread:" + c.cfg.Label)
+	if fired {
+		switch kind {
+		case failpoint.KindReset, failpoint.KindPartial:
+			_ = c.Conn.Close()
+			return 0, ErrInjectedReset
+		case failpoint.KindBlackhole:
+			// The route silently drops packets: nothing arrives for the
+			// hold, then the connection is torn down. Peers blocked on
+			// their own reads of this conn see the teardown too.
+			time.Sleep(c.cfg.Hold)
+			_ = c.Conn.Close()
+			return 0, ErrInjectedReset
+		case failpoint.KindErr:
+			return 0, failpoint.ErrInjected
+		case failpoint.KindLatency:
+			time.Sleep(c.cfg.seededLatency())
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	kind, fired := c.cfg.Reg.Eval("netwrite:" + c.cfg.Label)
+	if fired {
+		switch kind {
+		case failpoint.KindReset, failpoint.KindBlackhole:
+			_ = c.Conn.Close()
+			return 0, ErrInjectedReset
+		case failpoint.KindPartial:
+			n := 0
+			if len(p) > 0 {
+				n = c.cfg.Reg.Intn(len(p))
+			}
+			if n > 0 {
+				if _, err := c.Conn.Write(p[:n]); err != nil {
+					_ = c.Conn.Close()
+					return 0, err
+				}
+			}
+			_ = c.Conn.Close()
+			return n, ErrInjectedReset
+		case failpoint.KindErr:
+			return 0, failpoint.ErrInjected
+		case failpoint.KindLatency:
+			time.Sleep(c.cfg.seededLatency())
+		}
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,169 @@
+package netfault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"snapdb/internal/failpoint"
+)
+
+// pipe returns a wrapped client end and the raw server end of an
+// in-memory connection.
+func pipe(t *testing.T, reg *failpoint.Registry) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { _ = a.Close(); _ = b.Close() })
+	return WrapConn(a, Config{Reg: reg, Label: "t"}), b
+}
+
+func TestPassthroughWhenUnarmed(t *testing.T) {
+	reg := failpoint.New(1)
+	c, peer := pipe(t, reg)
+	go func() {
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(peer, buf); err == nil {
+			_, _ = peer.Write(buf)
+		}
+	}()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echoed %q", buf)
+	}
+}
+
+func TestResetOnWrite(t *testing.T) {
+	reg := failpoint.New(1)
+	reg.Arm("netwrite:t", failpoint.KindReset, 1)
+	c, peer := pipe(t, reg)
+	if _, err := c.Write([]byte("doomed")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("want injected reset, got %v", err)
+	}
+	// The peer observes the teardown.
+	_ = peer.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := peer.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after reset")
+	}
+}
+
+func TestPartialWriteDeliversPrefix(t *testing.T) {
+	reg := failpoint.New(7)
+	reg.Arm("netwrite:t", failpoint.KindPartial, 1)
+	c, peer := pipe(t, reg)
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		n, _ := peer.Read(buf) // the prefix, then the close
+		got <- buf[:n]
+	}()
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	n, err := c.Write(payload)
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("want injected reset, got %v", err)
+	}
+	if n >= len(payload) {
+		t.Fatalf("partial write delivered everything (n=%d)", n)
+	}
+	select {
+	case prefix := <-got:
+		if string(prefix) != string(payload[:len(prefix)]) {
+			t.Fatalf("peer saw %q, not a prefix of %q", prefix, payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer never observed the prefix")
+	}
+}
+
+func TestBlackholedReadHoldsThenResets(t *testing.T) {
+	reg := failpoint.New(1)
+	reg.Arm("netread:t", failpoint.KindBlackhole, 1)
+	c, _ := pipe(t, reg)
+	c.cfg.Hold = 30 * time.Millisecond
+	start := time.Now()
+	_, err := c.Read(make([]byte, 1))
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("want injected reset, got %v", err)
+	}
+	if held := time.Since(start); held < 25*time.Millisecond {
+		t.Fatalf("blackhole held only %v", held)
+	}
+}
+
+func TestLatencyDelaysButDelivers(t *testing.T) {
+	reg := failpoint.New(3)
+	reg.Arm("netwrite:t", failpoint.KindLatency, 0) // every write
+	c, peer := pipe(t, reg)
+	c.cfg.LatencyMax = 5 * time.Millisecond
+	go func() {
+		buf := make([]byte, 2)
+		if _, err := io.ReadFull(peer, buf); err == nil {
+			_, _ = peer.Write(buf)
+		}
+	}()
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatalf("latency write failed: %v", err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read after latency: %v", err)
+	}
+}
+
+// TestListenerResetOnAccept arms a reset on the accept path and checks
+// the accepted connection is dead on arrival while the listener
+// survives to accept the next one.
+func TestListenerResetOnAccept(t *testing.T) {
+	reg := failpoint.New(1)
+	reg.Arm("accept:t", failpoint.KindReset, 1)
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(raw, Config{Reg: reg, Label: "t"})
+	defer ln.Close()
+
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	for i := 0; i < 2; i++ {
+		cli, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		srv := <-accepted
+		_ = srv.SetReadDeadline(time.Now().Add(time.Second))
+		_, _ = cli.Write([]byte("x\n"))
+		_, rerr := srv.Read(make([]byte, 1))
+		if i == 0 && rerr == nil {
+			t.Fatal("first accepted conn should be dead on arrival")
+		}
+		if i == 1 && rerr != nil {
+			t.Fatalf("second accepted conn broken: %v", rerr)
+		}
+	}
+}
+
+func TestArmSpecParsesNetKinds(t *testing.T) {
+	reg := failpoint.New(1)
+	spec := "netread:srv=reset@3,netwrite:srv=partial@5,netread:*=latency,accept:srv=blackhole@2"
+	if err := reg.ArmSpec(spec); err != nil {
+		t.Fatalf("ArmSpec(%q): %v", spec, err)
+	}
+}

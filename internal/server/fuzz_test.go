@@ -1,0 +1,44 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzUnescape drives the wire escaping both ways: Escape must render
+// any string free of line and field terminators and be perfectly
+// reversible, and Unescape must handle arbitrary attacker-controlled
+// bytes without panicking — it sits directly on the untrusted side of
+// every ERR message and TEXT value a client parses.
+func FuzzUnescape(f *testing.F) {
+	for _, seed := range []string{
+		"", "plain", `a\tb`, "tab\there", "nl\nhere", "cr\rhere",
+		`\\`, `trailing\`, `\x`, "mixed\t\n\r\\", `i:42`, `s:v`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		esc := Escape(s)
+		if strings.ContainsAny(esc, "\t\n\r") {
+			t.Fatalf("Escape(%q) = %q still contains a terminator byte", s, esc)
+		}
+		got, err := Unescape(esc)
+		if err != nil {
+			t.Fatalf("Unescape(Escape(%q)) failed: %v", s, err)
+		}
+		if got != s {
+			t.Fatalf("round trip lost bytes: %q -> %q -> %q", s, esc, got)
+		}
+		// Arbitrary input is allowed to be rejected (dangling or unknown
+		// escapes) but never to crash; accepted input must re-escape to
+		// something that unescapes back to the same string.
+		u, err := Unescape(s)
+		if err != nil {
+			return
+		}
+		again, err := Unescape(Escape(u))
+		if err != nil || again != u {
+			t.Fatalf("re-round-trip of %q diverged: %q, %v", u, again, err)
+		}
+	})
+}

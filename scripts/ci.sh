@@ -54,9 +54,21 @@ fuzz ./internal/bufpool FuzzParseDump
 fuzz ./internal/bufpool FuzzDumpRoundTripBitflip
 fuzz ./internal/sqlparse FuzzParseExplain
 fuzz ./internal/sqlparse FuzzParseSelect
+fuzz ./internal/server FuzzUnescape
+fuzz ./internal/client FuzzDecodeValue
 
 echo "== crash torture seed matrix (-race) =="
 SNAPDB_TORTURE_SEEDS="${SNAPDB_TORTURE_SEEDS:-1,7,42}" \
     go test -race ./internal/engine -run 'TestCrashTorture' -count=1 -v | grep -E 'kill-points|--- (PASS|FAIL)'
+
+echo "== network torture seed matrix (-race) =="
+# The wire-level counterpart: seeded resets, partial writes, latency
+# and blackholes against live connections, with exactly-once asserted
+# by state-digest/binlog/general-log comparison against a fault-free
+# run. Extra seeds here, like the crash matrix, so CI explores fault
+# schedules the default test run does not.
+SNAPDB_NETFAULT_SEEDS="${SNAPDB_NETFAULT_SEEDS:-1,7,42}" \
+    go test -race ./internal/server -run 'TestNetworkTortureExactlyOnce|TestReplyLossForcesReplayResidue' -count=1 -v |
+    grep -E 'retry residue|--- (PASS|FAIL)'
 
 echo "CI OK"
