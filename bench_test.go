@@ -559,3 +559,128 @@ func BenchmarkBatchedThroughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkParallelScan measures partitioned clustered scans against
+// the serial executor on a 100k-row table with simulated per-batch IO
+// waits (the regime where partitioning pays: on a real device the
+// waits are the head-of-line fetch latencies the workers overlap).
+// workers=1 is the serial baseline; the acceptance bar is >=2x rows/s
+// at workers=4 on the full-range scan.
+func BenchmarkParallelScan(b *testing.B) {
+	const tableRows = 100_000
+	ranges := []struct {
+		name string
+		rows int
+	}{
+		{"range=50k", 50_000},
+		{"range=100k", tableRows},
+	}
+	for _, workers := range []int{1, 2, 4} {
+		cfg := engine.Defaults()
+		cfg.EnableQueryCache = false // every iteration must really scan
+		cfg.SimulatedScanIOWait = 2 * time.Millisecond
+		cfg.ParallelScanMinRows = 1
+		if workers > 1 {
+			cfg.MaxScanWorkers = workers
+		} else {
+			cfg.DisableParallelScan = true
+		}
+		e, err := engine.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := e.Connect("bench")
+		if _, err := s.Execute("CREATE TABLE pscan (id INT PRIMARY KEY, grp INT, score INT)"); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < tableRows; i++ {
+			stmt := fmt.Sprintf("INSERT INTO pscan (id, grp, score) VALUES (%d, %d, %d)", i, i%7, (i*37)%100)
+			if _, err := s.Execute(stmt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.Execute("ANALYZE TABLE pscan"); err != nil {
+			b.Fatal(err)
+		}
+		for _, rng := range ranges {
+			q := fmt.Sprintf("SELECT COUNT(*) FROM pscan WHERE id >= 0 AND id <= %d", rng.rows-1)
+			b.Run(fmt.Sprintf("workers=%d/%s", workers, rng.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := s.Execute(q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got := res.Rows[0][0].SQL(); got != fmt.Sprint(rng.rows) {
+						b.Fatalf("count = %s, want %d", got, rng.rows)
+					}
+				}
+				b.ReportMetric(float64(rng.rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+			})
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkCostedPlanning times uncached statements end to end under
+// the cost-based access-path selector vs the legacy first-matching-
+// index rule. The plan cache is disabled so every Execute pays the
+// full lower-and-cost path; the table carries several secondary
+// indexes (a low-selectivity one alphabetically first) so the pricing
+// overhead and the better path's execution savings both show up.
+func BenchmarkCostedPlanning(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"cost-based", false},
+		{"first-match", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := engine.Defaults()
+			cfg.DisablePlanCache = true // time planning, not cache hits
+			cfg.EnableQueryCache = false
+			cfg.DisableCostBasedPlanner = mode.disable
+			e, err := engine.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := e.Connect("bench")
+			defer s.Close()
+			setup := []string{
+				"CREATE TABLE costed (id INT PRIMARY KEY, grp INT, ref INT, flag INT, score INT)",
+				"CREATE INDEX idx_a_grp ON costed (grp)",
+				"CREATE INDEX idx_b_flag ON costed (flag)",
+				"CREATE INDEX idx_c_ref ON costed (ref)",
+				"CREATE INDEX idx_d_score ON costed (score)",
+			}
+			for _, stmt := range setup {
+				if _, err := s.Execute(stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for i := 0; i < 512; i++ {
+				stmt := fmt.Sprintf(
+					"INSERT INTO costed (id, grp, ref, flag, score) VALUES (%d, %d, %d, %d, %d)",
+					i, i%2, i, i%4, (i*13)%100)
+				if _, err := s.Execute(stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := s.Execute("ANALYZE TABLE costed"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := s.Execute(fmt.Sprintf("SELECT id FROM costed WHERE grp = %d AND ref = %d", i%2, i%512))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != 1 {
+					b.Fatalf("rows = %d, want 1", len(res.Rows))
+				}
+			}
+		})
+	}
+}

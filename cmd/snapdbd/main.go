@@ -3,7 +3,7 @@
 // Usage:
 //
 //	snapdbd [-addr 127.0.0.1:7001] [-harden] [-idle-timeout 5m] [-datadir DIR]
-//	        [-stmt-timeout 0] [-max-concurrent 0] [-drain-timeout 10s]
+//	        [-stmt-timeout 0] [-max-concurrent 0] [-drain-timeout 10s] [-scan-workers 0]
 //
 // Clients speak the line protocol of internal/server; the simplest
 // client is:
@@ -75,6 +75,8 @@ func main() {
 		"cap concurrently executing statements; excess get a retryable overloaded ERR (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"how long a SIGTERM/SIGINT drain waits for in-flight work before closing hard")
+	scanWorkers := flag.Int("scan-workers", 0,
+		"split large clustered scans across this many worker goroutines with an ordered merge (0 or 1 = serial)")
 	flag.Parse()
 
 	cfg := engine.Defaults()
@@ -82,6 +84,7 @@ func main() {
 		cfg = mitigate.Harden(cfg, true)
 	}
 	cfg.StatementTimeout = *stmtTimeout
+	cfg.MaxScanWorkers = *scanWorkers
 	e, err := openEngine(cfg, *datadir)
 	if err != nil {
 		log.Fatalf("snapdbd: %v", err)

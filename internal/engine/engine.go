@@ -79,6 +79,34 @@ type Config struct {
 	// results, forensic artifacts, and buffer-pool fetch traces.
 	DisableSortOptimizations bool
 
+	// Parallel scan knobs. MaxScanWorkers caps the worker goroutines a
+	// clustered full/range scan may split into; 0 or 1 keeps every scan
+	// serial (the default — parallelism is opt-in because it reorders
+	// the buffer-pool fetch trace, a leakage-profile change E15
+	// measures). DisableParallelScan forces serial plans even when
+	// MaxScanWorkers allows more, so differential tests can diff the
+	// two shapes on one config. ParallelScanMinRows is the estimated
+	// row count below which splitting isn't worth the goroutine
+	// machinery (default 4096).
+	MaxScanWorkers      int
+	DisableParallelScan bool
+	ParallelScanMinRows int64
+
+	// DisableCostBasedPlanner reverts access-path selection to the
+	// pre-statistics behavior: first index whose column matches the
+	// WHERE clause wins. The cost-model tests use it as the control
+	// arm.
+	DisableCostBasedPlanner bool
+
+	// SimulatedScanIOWait, when positive, models per-page-batch device
+	// latency inside scan leaves: every scanIOInterval examined rows
+	// the scan sleeps this long, the way SimulatedIOWait models
+	// commit-path latency. The parallel-scan benchmarks use it on the
+	// 1-core runner: partitioned workers overlap these waits, which is
+	// exactly the wall-clock win parallel IO buys on real devices.
+	// Default 0 (off), so tests and experiments are unaffected.
+	SimulatedScanIOWait time.Duration
+
 	// Hardening knobs (see internal/mitigate). All default to the
 	// production-realistic (leaky) setting.
 	SecureHeapDelete  bool // zeroize freed heap blocks
@@ -143,6 +171,9 @@ func (c Config) normalized() Config {
 	if c.SlowThreshold <= 0 {
 		c.SlowThreshold = d.SlowThreshold
 	}
+	if c.ParallelScanMinRows <= 0 {
+		c.ParallelScanMinRows = DefaultParallelScanMinRows
+	}
 	return c
 }
 
@@ -159,6 +190,12 @@ type Table struct {
 	// scans use it to pre-size result slices. Recovery and replay seed
 	// it after rebuilding the tree. It is never used for correctness.
 	rows atomic.Int64
+
+	// stats holds the planner statistics (per-column min/max/distinct)
+	// last built by ANALYZE TABLE, widened incrementally by DML. Like
+	// rows, it is advisory: the cost model reads it, correctness never
+	// does. See stats.go.
+	stats tableStats
 }
 
 // RowHint returns the advisory row count.
@@ -363,6 +400,13 @@ type Result struct {
 	// operator-tree execution; Session.Execute records them into
 	// perfschema's events_stages surface.
 	stages []perfschema.StageEvent
+
+	// Cost-model outputs for the executed plan, consumed by EXPLAIN
+	// ANALYZE's rendering (estimated-vs-actual annotation on the scan
+	// line). scanDesc names the leaf operator the estimates belong to.
+	estRows  int64
+	estCost  float64
+	scanDesc string
 }
 
 // execFn is the statement-execution back half. Session.Execute uses
@@ -556,6 +600,14 @@ func (e *Engine) execute(s *Session, query string, pl *plan, parseErr error, ts 
 		defer mu.Unlock()
 		e.simulateIO()
 		return e.execDelete(s, st, pl, query, ts)
+	case *sqlparse.AnalyzeTable:
+		// ANALYZE only reads the table (one clustered scan) and writes
+		// the advisory stats, so readers may share the lock with it;
+		// DML is excluded so the scan sees a stable tree.
+		mu := e.locks.shared(st.Table)
+		defer mu.RUnlock()
+		e.simulateIO()
+		return e.execAnalyzeTable(s, st, query, ts)
 	case *sqlparse.TxnControl:
 		if st.Op == sqlparse.TxnRollback {
 			// Rollback replays undo records that may span tables.
@@ -711,6 +763,10 @@ func (e *Engine) execInsert(s *Session, st *sqlparse.Insert, pl *plan, query str
 		}
 	}
 	t.rows.Add(int64(len(rows)))
+	for _, row := range rows {
+		t.statsNoteInsert(row)
+	}
+	e.maybeStatsDrift(t)
 	return &Result{RowsAffected: len(rows)}, nil
 }
 
@@ -788,6 +844,9 @@ func (e *Engine) execSelect(s *Session, st *sqlparse.Select, pl *plan, query str
 		RowsExamined: pi.examined(),
 		AccessPath:   pp.path,
 		stages:       pi.stages(),
+		estRows:      pp.estRows,
+		estCost:      pp.estCost,
+		scanDesc:     pi.leaf.Describe(),
 	}
 	e.qcache.Put(query, t.Name, rows)
 	return res, nil
@@ -899,6 +958,7 @@ func (e *Engine) execUpdate(s *Session, st *sqlparse.Update, pl *plan, query str
 			if err := indexUpdateColumn(t, old[t.PKIndex], op.idx, old[op.idx], op.val); err != nil {
 				return nil, err
 			}
+			t.statsNoteUpdate(op.idx, op.val)
 			updated[op.idx] = op.val
 		}
 		if _, err := t.Tree.Update(old[t.PKIndex], updated); err != nil {
@@ -916,7 +976,8 @@ func (e *Engine) execUpdate(s *Session, st *sqlparse.Update, pl *plan, query str
 			}
 		}
 	}
-	return &Result{RowsAffected: len(rows), RowsExamined: pi.examined(), stages: pi.stages()}, nil
+	return &Result{RowsAffected: len(rows), RowsExamined: pi.examined(), stages: pi.stages(),
+		estRows: pp.estRows, estCost: pp.estCost, scanDesc: pi.leaf.Describe()}, nil
 }
 
 // execDelete drives the scan half through the operator tree, then
@@ -940,6 +1001,7 @@ func (e *Engine) execDelete(s *Session, st *sqlparse.Delete, pl *plan, query str
 	}
 	txn, auto := s.stmtTxn(e)
 	t.rows.Add(-int64(len(rows)))
+	e.maybeStatsDrift(t)
 	for _, old := range rows {
 		if _, err := t.Tree.Delete(old[t.PKIndex]); err != nil {
 			return nil, err
@@ -964,5 +1026,6 @@ func (e *Engine) execDelete(s *Session, st *sqlparse.Delete, pl *plan, query str
 			}
 		}
 	}
-	return &Result{RowsAffected: len(rows), RowsExamined: pi.examined(), stages: pi.stages()}, nil
+	return &Result{RowsAffected: len(rows), RowsExamined: pi.examined(), stages: pi.stages(),
+		estRows: pp.estRows, estCost: pp.estCost, scanDesc: pi.leaf.Describe()}, nil
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"snapdb/internal/btree"
 	"snapdb/internal/sqlparse"
@@ -31,11 +32,21 @@ type scanBase struct {
 	// rows during the traversal; dlErr records the abort it raised.
 	dl    DeadlineCheck
 	dlErr error
+
+	// ioWait, when positive, models per-page-batch device latency: the
+	// traversal sleeps this long every scanIOInterval examined rows
+	// (see Config.SimulatedScanIOWait). Zero — the default — keeps the
+	// traversal exactly as fast as it always was.
+	ioWait time.Duration
 }
 
 // SetDeadlineCheck arms the statement-deadline check on this leaf. It
 // must be called before Open; a nil check (the default) disables it.
 func (s *scanBase) SetDeadlineCheck(dc DeadlineCheck) { s.dl = dc }
+
+// SetSimulatedIOWait arms the modeled per-page-batch device latency.
+// Must be called before Open; zero (the default) disables it.
+func (s *scanBase) SetSimulatedIOWait(d time.Duration) { s.ioWait = d }
 
 // checkDeadline evaluates the armed check, recording the error.
 func (s *scanBase) checkDeadline() error {
@@ -90,6 +101,9 @@ func (s *scanBase) visit(r storage.Record) bool {
 		if s.checkDeadline() != nil {
 			return false
 		}
+	}
+	if s.ioWait > 0 && s.stats.RowsExamined%scanIOInterval == 0 {
+		time.Sleep(s.ioWait)
 	}
 	s.buf = append(s.buf, r)
 	return true

@@ -65,6 +65,11 @@ func (e *Engine) execExplain(st *sqlparse.Explain) (*Result, error) {
 	}
 	for _, n := range pi.nodes {
 		line := strings.Repeat("  ", n.depth+base) + "-> " + n.op.Describe()
+		if n.op == pi.leaf {
+			// The scan leaf carries the cost model's verdict. EXPLAIN
+			// always plans fresh, so these reflect current statistics.
+			line += fmt.Sprintf("  (est_rows=%d est_cost=%.2f)", pp.estRows, pp.estCost)
+		}
 		res.Rows = append(res.Rows, storage.Record{sqlparse.StrValue(line)})
 	}
 	return res, nil
@@ -73,8 +78,11 @@ func (e *Engine) execExplain(st *sqlparse.Explain) (*Result, error) {
 // analyzeLines renders the per-operator counters of an executed plan:
 // one row per operator, indented by tree depth (below the header, when
 // one is given), annotated with the same counters events_stages_history
-// records.
-func analyzeLines(header string, stages []perfschema.StageEvent) []storage.Record {
+// records. The scan-leaf line (matched by its operator description)
+// additionally carries the planner's estimate next to the actual
+// count — the estimated-vs-actual comparison EXPLAIN ANALYZE exists
+// for.
+func analyzeLines(header string, stages []perfschema.StageEvent, scanDesc string, estRows int64, estCost float64) []storage.Record {
 	base := 0
 	rows := make([]storage.Record, 0, len(stages)+1)
 	if header != "" {
@@ -85,6 +93,10 @@ func analyzeLines(header string, stages []perfschema.StageEvent) []storage.Recor
 		line := fmt.Sprintf("%s-> %s (examined=%d returned=%d fetches=%d)",
 			strings.Repeat("  ", ev.Depth+base), ev.Operator,
 			ev.RowsExamined, ev.RowsReturned, ev.PoolFetches)
+		if scanDesc != "" && ev.Operator == scanDesc {
+			line += fmt.Sprintf("  (est_rows=%d est_cost=%.2f actual_rows=%d)",
+				estRows, estCost, ev.RowsReturned)
+		}
 		rows = append(rows, storage.Record{sqlparse.StrValue(line)})
 	}
 	return rows
@@ -156,7 +168,7 @@ func (e *Engine) execExplainAnalyzeSelect(s *Session, st *sqlparse.Select) (*Res
 	stages := pi.stages()
 	return &Result{
 		Columns:      []string{"EXPLAIN"},
-		Rows:         analyzeLines("", stages),
+		Rows:         analyzeLines("", stages, pi.leaf.Describe(), pp.estRows, pp.estCost),
 		RowsExamined: pi.examined(),
 		AccessPath:   pp.path,
 		stages:       stages,
@@ -171,7 +183,7 @@ func analyzeMutateResult(header string, res *Result) *Result {
 	header = fmt.Sprintf("-> %s (affected=%d)", header, res.RowsAffected)
 	return &Result{
 		Columns:      []string{"EXPLAIN"},
-		Rows:         analyzeLines(header, res.stages),
+		Rows:         analyzeLines(header, res.stages, res.scanDesc, res.estRows, res.estCost),
 		RowsAffected: res.RowsAffected,
 		RowsExamined: res.RowsExamined,
 		stages:       res.stages,

@@ -182,32 +182,43 @@ func indexUpdateColumn(t *Table, pk sqlparse.Value, col int, oldVal, newVal sqlp
 	return nil
 }
 
-// indexBounds looks for a usable secondary index: a column with both
-// bounds (or equality) among the predicates. Returns the index and the
-// value range. The planner passes a race-free snapshot of the table's
-// index list (see Engine.indexesOf).
-func indexBounds(indexes []*SecondaryIndex, where sqlparse.Where) (*SecondaryIndex, sqlparse.Value, sqlparse.Value, bool) {
-	for _, ix := range indexes {
-		var lo, hi sqlparse.Value
-		var haveLo, haveHi bool
-		for _, p := range where {
-			if p.Column != ix.Column {
-				continue
+// indexBoundsFor extracts the predicate bounds usable with one index:
+// an equality (eq=true, lo==hi) or both range bounds on its column.
+// The first equality predicate wins outright, as it always has.
+func indexBoundsFor(ix *SecondaryIndex, where sqlparse.Where) (lo, hi sqlparse.Value, eq, ok bool) {
+	var haveLo, haveHi bool
+	for _, p := range where {
+		if p.Column != ix.Column {
+			continue
+		}
+		switch p.Op {
+		case sqlparse.OpEq:
+			return p.Arg, p.Arg, true, true
+		case sqlparse.OpGe, sqlparse.OpGt:
+			if !haveLo || p.Arg.Compare(lo) > 0 {
+				lo, haveLo = p.Arg, true
 			}
-			switch p.Op {
-			case sqlparse.OpEq:
-				return ix, p.Arg, p.Arg, true
-			case sqlparse.OpGe, sqlparse.OpGt:
-				if !haveLo || p.Arg.Compare(lo) > 0 {
-					lo, haveLo = p.Arg, true
-				}
-			case sqlparse.OpLe, sqlparse.OpLt:
-				if !haveHi || p.Arg.Compare(hi) < 0 {
-					hi, haveHi = p.Arg, true
-				}
+		case sqlparse.OpLe, sqlparse.OpLt:
+			if !haveHi || p.Arg.Compare(hi) < 0 {
+				hi, haveHi = p.Arg, true
 			}
 		}
-		if haveLo && haveHi {
+	}
+	if haveLo && haveHi {
+		return lo, hi, false, true
+	}
+	return sqlparse.Value{}, sqlparse.Value{}, false, false
+}
+
+// indexBounds looks for a usable secondary index the pre-statistics
+// way: the first index (by name) with a bounded predicate wins. The
+// cost-based planner enumerates candidates itself (physical.go); this
+// remains as the DisableCostBasedPlanner control arm. The planner
+// passes a race-free snapshot of the table's index list (see
+// Engine.indexesOf).
+func indexBounds(indexes []*SecondaryIndex, where sqlparse.Where) (*SecondaryIndex, sqlparse.Value, sqlparse.Value, bool) {
+	for _, ix := range indexes {
+		if lo, hi, _, ok := indexBoundsFor(ix, where); ok {
 			return ix, lo, hi, true
 		}
 	}

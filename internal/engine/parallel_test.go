@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// parallelConfig returns Defaults with the parallel scan armed
+// aggressively enough to fire on test-sized tables.
+func parallelConfig() Config {
+	cfg := Defaults()
+	cfg.MaxScanWorkers = 4
+	cfg.ParallelScanMinRows = 1
+	cfg.EnableQueryCache = false
+	return cfg
+}
+
+// setupWide populates a table with n rows at stride-3 primary keys, so
+// partition boundaries fall between keys as often as on them.
+func setupWide(t testing.TB, s *Session, n int) {
+	t.Helper()
+	mustExec(t, s, "CREATE TABLE wide (id INT PRIMARY KEY, grp INT, score INT, name TEXT)")
+	for i := 0; i < n; i++ {
+		mustExec(t, s, fmt.Sprintf(
+			"INSERT INTO wide (id, grp, score, name) VALUES (%d, %d, %d, 'w%d')",
+			i*3, i%7, (i*37)%100, i))
+	}
+}
+
+// TestParallelScanMatchesSerial: the merged parallel result must be
+// byte-identical to the serial scan's — same rows, same order, same
+// examined counts, same access path — across full scans, pk ranges,
+// filters, sorts, and aggregates.
+func TestParallelScanMatchesSerial(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM wide",
+		"SELECT name FROM wide WHERE grp = 3",
+		"SELECT * FROM wide WHERE score > 40",
+		"SELECT * FROM wide WHERE id >= 30 AND id <= 1200",
+		"SELECT name, score FROM wide WHERE id >= 100 AND id <= 700 ORDER BY score DESC LIMIT 5",
+		"SELECT id FROM wide ORDER BY score LIMIT 7",
+		"SELECT COUNT(*) FROM wide WHERE grp = 2",
+		"SELECT SUM(score) FROM wide WHERE id >= 0 AND id <= 600",
+	}
+	type outcome struct {
+		rows     string
+		examined int
+		path     string
+	}
+	run := func(cfg Config) []outcome {
+		e, _ := newEngine(t, cfg)
+		s := e.Connect("app")
+		defer s.Close()
+		setupWide(t, s, 500)
+		mustExec(t, s, "ANALYZE TABLE wide")
+		var out []outcome
+		for _, q := range queries {
+			res := mustExec(t, s, q)
+			out = append(out, outcome{renderResult(res, nil), res.RowsExamined, res.AccessPath})
+		}
+		return out
+	}
+
+	par := run(parallelConfig())
+	cfgSerial := parallelConfig()
+	cfgSerial.DisableParallelScan = true
+	ser := run(cfgSerial)
+
+	for i := range queries {
+		if par[i] != ser[i] {
+			t.Errorf("%s:\nparallel: %+v\nserial:   %+v", queries[i], par[i], ser[i])
+		}
+	}
+}
+
+// TestParallelExplainShowsPartitions: the plan renders the ParallelScan
+// leaf with one child line per partition, and EXPLAIN ANALYZE carries
+// per-partition examined counts that sum to the serial total.
+func TestParallelExplainShowsPartitions(t *testing.T) {
+	e, _ := newEngine(t, parallelConfig())
+	s := e.Connect("app")
+	defer s.Close()
+	setupWide(t, s, 500)
+	mustExec(t, s, "ANALYZE TABLE wide")
+
+	lines, res := explainLines(t, s, "EXPLAIN SELECT * FROM wide WHERE score > 40")
+	joined := strings.Join(lines, "\n")
+	if res.AccessPath != "full-scan" {
+		t.Fatalf("access path = %q, want full-scan", res.AccessPath)
+	}
+	if !strings.Contains(joined, "Parallel scan on wide (workers=4)") {
+		t.Fatalf("EXPLAIN missing parallel leaf:\n%s", joined)
+	}
+	nParts := 0
+	for _, l := range lines {
+		if strings.Contains(l, "Partition ") {
+			nParts++
+		}
+	}
+	if nParts != 4 {
+		t.Fatalf("EXPLAIN shows %d partitions, want 4:\n%s", nParts, joined)
+	}
+
+	lines, _ = explainLines(t, s, "EXPLAIN ANALYZE SELECT * FROM wide WHERE score > 40")
+	joined = strings.Join(lines, "\n")
+	if !strings.Contains(joined, "Parallel scan on wide (workers=4)") ||
+		!strings.Contains(joined, "est_rows=") {
+		t.Fatalf("EXPLAIN ANALYZE missing annotated parallel leaf:\n%s", joined)
+	}
+	// The partition lines carry the per-worker examined counts; they
+	// must sum to the whole table.
+	sum := 0
+	for _, l := range lines {
+		if !strings.Contains(l, "Partition ") {
+			continue
+		}
+		var ex int
+		if _, err := fmt.Sscanf(l[strings.Index(l, "(examined="):], "(examined=%d", &ex); err != nil {
+			t.Fatalf("unparseable partition line %q: %v", l, err)
+		}
+		sum += ex
+	}
+	if sum != 500 {
+		t.Fatalf("partition examined counts sum to %d, want 500:\n%s", sum, joined)
+	}
+
+	// A serial engine never shows the parallel operators.
+	cfgSerial := parallelConfig()
+	cfgSerial.DisableParallelScan = true
+	e2, _ := newEngine(t, cfgSerial)
+	s2 := e2.Connect("app")
+	defer s2.Close()
+	setupWide(t, s2, 500)
+	mustExec(t, s2, "ANALYZE TABLE wide")
+	lines, _ = explainLines(t, s2, "EXPLAIN SELECT * FROM wide WHERE score > 40")
+	joined = strings.Join(lines, "\n")
+	if strings.Contains(joined, "Parallel") || strings.Contains(joined, "Partition") {
+		t.Fatalf("DisableParallelScan plan still parallel:\n%s", joined)
+	}
+}
+
+// parallelWorkload is the randomized differential mix with ANALYZE
+// statements spliced in, so full-scan fan-out (which requires key-space
+// statistics) participates alongside pk-range fan-out.
+func parallelWorkload() []string {
+	base := randomWorkload(rand.New(rand.NewSource(0xC0FFEE)))
+	w := make([]string, 0, len(base)+3)
+	for i, q := range base {
+		switch i {
+		case 80, 150, 230:
+			w = append(w, "ANALYZE TABLE items")
+		}
+		w = append(w, q)
+	}
+	return w
+}
+
+// TestDifferentialParallelVsSerial pushes the same randomized workload
+// through a parallel-scanning engine and a DisableParallelScan engine:
+// every statement outcome and every durable artifact surface — general
+// log, binlog, digest summary, statement history, heap arena — must be
+// byte-identical. The buffer-pool fetch trace and LRU state are
+// deliberately NOT compared: concurrent partition workers scramble
+// them, which is the leakage-profile change experiment E15 measures.
+func TestDifferentialParallelVsSerial(t *testing.T) {
+	workload := parallelWorkload()
+
+	type runState struct {
+		outcomes []string
+		fs       forensicState
+	}
+	run := func(serial bool) runState {
+		cfg := parallelConfig()
+		cfg.DisableParallelScan = serial
+		cfg.EnableGeneralLog = true
+		e, now := newEngine(t, cfg)
+		var rs runState
+		s := e.Connect("diff")
+		defer s.Close()
+		for _, q := range workload {
+			*now++
+			res, err := s.Execute(q)
+			rs.outcomes = append(rs.outcomes, renderResult(res, err))
+		}
+		rs.fs = captureForensics(e)
+		return rs
+	}
+
+	par := run(false)
+	ser := run(true)
+
+	if len(par.outcomes) != len(ser.outcomes) {
+		t.Fatalf("outcome count mismatch: %d vs %d", len(par.outcomes), len(ser.outcomes))
+	}
+	for i := range par.outcomes {
+		if par.outcomes[i] != ser.outcomes[i] {
+			t.Errorf("statement %d %q:\nparallel: %s\nserial:   %s",
+				i, workload[i], par.outcomes[i], ser.outcomes[i])
+		}
+	}
+	for _, cmp := range []struct {
+		name string
+		a, b []string
+	}{
+		{"general log", par.fs.general, ser.fs.general},
+		{"binlog", par.fs.binlog, ser.fs.binlog},
+		{"digest summary", par.fs.digests, ser.fs.digests},
+		{"statement history", par.fs.history, ser.fs.history},
+		{"statements current", par.fs.current, ser.fs.current},
+	} {
+		if !reflect.DeepEqual(cmp.a, cmp.b) {
+			t.Errorf("%s differs between parallel and serial runs (%d vs %d entries)",
+				cmp.name, len(cmp.a), len(cmp.b))
+		}
+	}
+	if !bytes.Equal(par.fs.arena, ser.fs.arena) {
+		t.Errorf("heap arena images differ between parallel and serial runs")
+	}
+	if par.fs.statements != ser.fs.statements {
+		t.Errorf("statement counters differ: %d vs %d", par.fs.statements, ser.fs.statements)
+	}
+}
+
+// TestPlanCacheLeakageEquivalenceParallel is the plan-cache leakage
+// property under parallel scans: a cached template must fan out exactly
+// as a freshly built plan does (the partition split happens at
+// instantiate time from live state), so every forensic surface except
+// the concurrency-scrambled fetch trace matches with the plan cache on
+// vs off.
+func TestPlanCacheLeakageEquivalenceParallel(t *testing.T) {
+	var workload []string
+	workload = append(workload, "CREATE TABLE wide (id INT PRIMARY KEY, grp INT, score INT, name TEXT)")
+	for i := 0; i < 300; i++ {
+		workload = append(workload, fmt.Sprintf(
+			"INSERT INTO wide (id, grp, score, name) VALUES (%d, %d, %d, 'w%d')",
+			i*3, i%7, (i*37)%100, i))
+	}
+	workload = append(workload,
+		"ANALYZE TABLE wide",
+		"SELECT * FROM wide WHERE score > 40",
+		"SELECT * FROM wide WHERE score > 40", // plan-cache hit → cached template fans out
+		"SELECT name FROM wide WHERE id >= 30 AND id <= 600",
+		"SELECT name FROM wide WHERE id >= 30 AND id <= 600",
+		"INSERT INTO wide (id, grp, score, name) VALUES (10000, 1, 1, 'tail')", // widens pk bounds
+		"SELECT * FROM wide WHERE score > 40",                                  // re-partitioned against the widened bounds
+		"SELECT COUNT(*) FROM wide",
+	)
+
+	run := func(disable bool) forensicState {
+		cfg := parallelConfig()
+		cfg.DisablePlanCache = disable
+		cfg.EnableGeneralLog = true
+		e, now := newEngine(t, cfg)
+		s := e.Connect("victim")
+		defer s.Close()
+		for _, q := range workload {
+			*now++
+			if _, err := s.Execute(q); err != nil {
+				t.Fatalf("Execute(%q): %v", q, err)
+			}
+		}
+		return captureForensics(e)
+	}
+
+	withCache := run(false)
+	without := run(true)
+	for _, cmp := range []struct {
+		name string
+		a, b []string
+	}{
+		{"general log", withCache.general, without.general},
+		{"binlog", withCache.binlog, without.binlog},
+		{"digest summary", withCache.digests, without.digests},
+		{"statement history", withCache.history, without.history},
+		{"statements current", withCache.current, without.current},
+		{"stages history", withCache.stages, without.stages},
+	} {
+		if !reflect.DeepEqual(cmp.a, cmp.b) {
+			t.Errorf("%s differs with plan cache on vs off under parallel scans", cmp.name)
+		}
+	}
+	if !bytes.Equal(withCache.arena, without.arena) {
+		t.Errorf("heap arena images differ: %d vs %d bytes", len(withCache.arena), len(without.arena))
+	}
+	if withCache.statements != without.statements {
+		t.Errorf("statement counters differ: %d vs %d", withCache.statements, without.statements)
+	}
+}
+
+// TestParallelScanDeadline: a statement deadline fires inside the
+// partition workers — the fan-out cancels promptly, the statement
+// returns the typed timeout error, and the session keeps working.
+func TestParallelScanDeadline(t *testing.T) {
+	cfg := parallelConfig()
+	cfg.StatementTimeout = 50 * time.Millisecond
+	e, _ := newEngine(t, cfg)
+	// Concurrency-safe stepped clock: every ExecClock call advances an
+	// atomic tick counter by the current step, so partition workers can
+	// consult the deadline simultaneously without racing the test.
+	base := time.Unix(0, 0)
+	var ticks, step atomic.Int64
+	e.ExecClock = func() time.Time {
+		return base.Add(time.Duration(ticks.Add(step.Load())))
+	}
+	s := e.Connect("app")
+	defer s.Close()
+	setupWide(t, s, 600)
+	mustExec(t, s, "ANALYZE TABLE wide")
+
+	step.Store(int64(time.Second))
+	_, err := s.Execute("SELECT * FROM wide WHERE score > 40")
+	if !errors.Is(err, ErrStatementTimeout) {
+		t.Fatalf("want ErrStatementTimeout from parallel scan, got %v", err)
+	}
+
+	step.Store(0)
+	res := mustExec(t, s, "SELECT * FROM wide WHERE id = 30")
+	if len(res.Rows) != 1 {
+		t.Fatalf("post-timeout select rows = %d, want 1", len(res.Rows))
+	}
+	res = mustExec(t, s, "SELECT COUNT(*) FROM wide")
+	if res.Rows[0][0].Int != 600 {
+		t.Fatalf("post-timeout count = %d, want 600", res.Rows[0][0].Int)
+	}
+}

@@ -180,6 +180,16 @@ type ckptIndex struct {
 	Root   storage.PageID
 }
 
+// ckptStats carries a table's planner statistics across restarts: an
+// analyzed table stays analyzed after recovery, so the cost model does
+// not silently fall back to default selectivities until someone re-runs
+// ANALYZE. Nil when the table was never analyzed.
+type ckptStats struct {
+	AnalyzedAt int64
+	Baseline   int64
+	Cols       map[int]colStats
+}
+
 type ckptTable struct {
 	ID      uint8
 	Name    string
@@ -187,6 +197,7 @@ type ckptTable struct {
 	PK      int
 	Root    storage.PageID
 	Indexes []ckptIndex
+	Stats   *ckptStats `json:",omitempty"`
 }
 
 type ckptMeta struct {
@@ -286,6 +297,9 @@ func (e *Engine) checkpointLocked() error {
 			ct.Indexes = append(ct.Indexes, ckptIndex{
 				Name: ix.Name, Column: ix.Column, ColIdx: ix.colIdx, Root: ix.Tree.Root(),
 			})
+		}
+		if analyzed, at, baseline, cols := t.statsSnapshot(); analyzed {
+			ct.Stats = &ckptStats{AnalyzedAt: at, Baseline: baseline, Cols: cols}
 		}
 		meta.Tables = append(meta.Tables, ct)
 	}

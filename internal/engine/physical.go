@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"strings"
+	"time"
 
 	"snapdb/internal/engine/exec"
 	"snapdb/internal/perfschema"
@@ -16,6 +18,37 @@ import (
 // and precomputes every operator's EXPLAIN description, so a plan-cache
 // hit skips planning entirely: execution just instantiates fresh
 // operators from the template and pulls.
+
+// Cost model. Costs are abstract row-visit units fed by the planner
+// statistics (stats.go): a sequential clustered row costs 1, an index
+// entry slightly less (smaller records, denser pages), and every index
+// match pays a clustered key lookup on top. With no ANALYZE on record
+// the selectivity defaults below stand in — deliberately the same
+// shape MySQL's pre-histogram planner used.
+const (
+	costSeqRow     = 1.0 // one clustered row visited sequentially
+	costIndexEntry = 0.9 // one secondary-index entry visited
+	costKeyLookup  = 1.0 // one clustered lookup resolving an index entry
+
+	defaultEqSelectivity    = 0.10 // `col = ?` with no distinct count
+	defaultRangeSelectivity = 0.25 // bounded range with no min/max
+
+	// costFullScanMinRows is the small-table floor: below it a bounded
+	// index always wins, exactly as the first-match planner chose. A
+	// table this small fits in a handful of pages either way, and the
+	// floor keeps estimate noise from flipping access paths (and
+	// therefore fetch traces) on the many small fixtures the
+	// differential suites replay.
+	costFullScanMinRows = 64
+)
+
+// DefaultParallelScanMinRows is the estimated-row floor below which a
+// scan is never split across workers (Config.ParallelScanMinRows).
+const DefaultParallelScanMinRows = 4096
+
+// maxScanPartitions caps how many partitions one scan fans out into no
+// matter what Config.MaxScanWorkers says.
+const maxScanPartitions = 16
 
 // accessKind is the chosen scan strategy.
 type accessKind int
@@ -70,8 +103,33 @@ type physicalPlan struct {
 	// UPDATE shape.
 	sets []setOp
 
+	// Cost-model outputs for the chosen path, computed at plan-build
+	// time from the then-current statistics. They feed EXPLAIN and
+	// EXPLAIN ANALYZE only — never the operator descriptions, which
+	// are shared with the events_stages surface and must not vary with
+	// statistics drift between a cached template and a fresh build.
+	estRows int64
+	estCost float64
+
+	// Parallel-scan template knobs (buildSelectPlan sets them when the
+	// statement is eligible; zero parWorkers keeps the scan serial).
+	// The split itself happens at instantiate time from live state, so
+	// a cached template and a fresh build partition identically.
+	parWorkers int
+	parMinRows int64
+
+	// scanIOWait is Config.SimulatedScanIOWait, armed on the scan
+	// leaves at instantiation.
+	scanIOWait time.Duration
+
 	// Precomputed operator descriptions (EXPLAIN and events_stages).
 	dScan, dLookup, dFilter, dSort, dTopN, dAgg, dProj, dLimit string
+}
+
+// setEst records the chosen path's estimates.
+func (pp *physicalPlan) setEst(rows, cost float64) {
+	pp.estRows = int64(rows + 0.5)
+	pp.estCost = cost
 }
 
 // indexesOf snapshots t's secondary-index list under the catalog lock.
@@ -85,46 +143,125 @@ func (e *Engine) indexesOf(t *Table) []*SecondaryIndex {
 	return append([]*SecondaryIndex(nil), t.Indexes...)
 }
 
+// estIndexRows estimates how many rows of t fall in [lo, hi] on column
+// colIdx. Analyzed tables use the column's distinct count (equality)
+// or min/max bounds (INT ranges, interpolated uniformly); everything
+// else falls back to the default selectivities.
+func estIndexRows(t *Table, colIdx int, lo, hi sqlparse.Value, eq bool, n int64) float64 {
+	cs, analyzed := t.statsFor(colIdx)
+	nf := float64(n)
+	if eq {
+		if analyzed && cs.Distinct > 0 {
+			return nf / float64(cs.Distinct)
+		}
+		if est := defaultEqSelectivity * nf; est > 1 {
+			return est
+		}
+		return 1
+	}
+	if analyzed && cs.HaveMinMax && lo.IsInt && hi.IsInt {
+		loC, hiC := lo.Int, hi.Int
+		if loC < cs.Min {
+			loC = cs.Min
+		}
+		if hiC > cs.Max {
+			hiC = cs.Max
+		}
+		if hiC < loC {
+			return 0
+		}
+		span := float64(cs.Max) - float64(cs.Min) + 1
+		if span <= 0 {
+			return defaultRangeSelectivity * nf
+		}
+		return (float64(hiC) - float64(loC) + 1) / span * nf
+	}
+	return defaultRangeSelectivity * nf
+}
+
 // buildAccess chooses the access path for a lowered scan and fills the
-// scan-related template fields, replicating the legacy selection order:
-// primary-key bounds first, then the first secondary index (by name)
-// with a bounded predicate, else a full scan.
+// scan-related template fields. Primary-key bounds always win (the
+// clustered tree serves them with no lookup step); after that the
+// planner scores every secondary index with a bounded predicate by
+// estimated matching rows and weighs the best against a full scan —
+// replacing the old first-matching-index-wins rule. On estimate ties
+// the lowest index name wins, which is exactly the order the
+// first-match rule used, and below the small-table floor a bounded
+// index always wins, so never-analyzed fixtures plan as they always
+// did. DisableCostBasedPlanner restores first-match outright.
 func (e *Engine) buildAccess(pp *physicalPlan, ls logicalScan) {
 	t := ls.table
 	pp.table = t
 	pp.preds = ls.preds
 	pp.whereErr = ls.whereErr
+	pp.scanIOWait = e.cfg.SimulatedScanIOWait
 	pkName := t.Columns[t.PKIndex].Name
 	if len(ls.where) > 0 {
 		pp.dFilter = "Filter: " + ls.where.SQL()
 	}
+	n := t.rows.Load()
 	if lo, hi, ok := pkBounds(t, ls.where); ok {
 		pp.lo, pp.hi = lo, hi
 		pp.path = "pk-range"
 		if lo.Equal(hi) {
 			pp.kind = accessPKPoint
+			pp.setEst(1, costSeqRow)
 			pp.dScan = fmt.Sprintf("Point scan on %s using PRIMARY (%s = %s) (access=pk-range)",
 				t.Name, pkName, lo.SQL())
 		} else {
 			pp.kind = accessPKRange
+			est := estIndexRows(t, t.PKIndex, lo, hi, false, n)
+			pp.setEst(est, costSeqRow*est)
 			pp.dScan = fmt.Sprintf("Range scan on %s using PRIMARY (%s between %s and %s) (access=pk-range)",
 				t.Name, pkName, lo.SQL(), hi.SQL())
 		}
 		return
 	}
-	if ix, lo, hi, ok := indexBounds(e.indexesOf(t), ls.where); ok {
-		pp.kind = accessIndex
-		pp.ix = ix
-		pp.lo, pp.hi = indexValueBounds(lo, hi)
-		pp.path = "index:" + ix.Name
-		pp.dScan = fmt.Sprintf("Index range scan on %s using %s (%s between %s and %s) (access=index:%s)",
-			t.Name, ix.Name, ix.Column, lo.SQL(), hi.SQL(), ix.Name)
-		pp.dLookup = fmt.Sprintf("Key lookup on %s via %s", t.Name, ix.Name)
-		return
+	var (
+		best           *SecondaryIndex
+		bestLo, bestHi sqlparse.Value
+		bestEst        float64
+	)
+	if e.cfg.DisableCostBasedPlanner {
+		if ix, lo, hi, ok := indexBounds(e.indexesOf(t), ls.where); ok {
+			best, bestLo, bestHi = ix, lo, hi
+			bestEst = estIndexRows(t, ix.colIdx, lo, hi, lo.Equal(hi), n)
+		}
+	} else {
+		for _, ix := range e.indexesOf(t) {
+			lo, hi, eq, ok := indexBoundsFor(ix, ls.where)
+			if !ok {
+				continue
+			}
+			est := estIndexRows(t, ix.colIdx, lo, hi, eq, n)
+			if best == nil || est < bestEst {
+				best, bestLo, bestHi, bestEst = ix, lo, hi, est
+			}
+		}
+	}
+	if best != nil {
+		idxCost := bestEst * (costIndexEntry + costKeyLookup)
+		if e.cfg.DisableCostBasedPlanner || n < costFullScanMinRows ||
+			idxCost <= float64(n)*costSeqRow {
+			pp.kind = accessIndex
+			pp.ix = best
+			pp.lo, pp.hi = indexValueBounds(bestLo, bestHi)
+			pp.path = "index:" + best.Name
+			pp.setEst(bestEst, idxCost)
+			pp.dScan = fmt.Sprintf("Index range scan on %s using %s (%s between %s and %s) (access=index:%s)",
+				t.Name, best.Name, best.Column, bestLo.SQL(), bestHi.SQL(), best.Name)
+			pp.dLookup = fmt.Sprintf("Key lookup on %s via %s", t.Name, best.Name)
+			return
+		}
 	}
 	pp.kind = accessFull
 	pp.path = "full-scan"
 	pp.presize = len(ls.where) == 0
+	est := float64(n)
+	if est < 1 {
+		est = 1
+	}
+	pp.setEst(est, float64(n)*costSeqRow)
 	pp.dScan = fmt.Sprintf("Table scan on %s (access=full-scan)", t.Name)
 }
 
@@ -164,6 +301,38 @@ func (pp *physicalPlan) orderFromAccess(sortCol int, sortDesc bool) bool {
 	return false
 }
 
+// markParallel flags a SELECT template as eligible for the parallel
+// partitioned scan: a forward clustered full/range scan over an INT
+// primary key, with parallelism switched on. Only the knobs land in
+// the template — the partition split itself happens at instantiate
+// time from live state (row count, statistics bounds), so a cached
+// template and a fresh build fan out identically. UPDATE/DELETE scans
+// stay serial: their scan half runs under the exclusive table lock and
+// feeds a mutation loop that wants the dispatch goroutine to itself.
+func (e *Engine) markParallel(pp *physicalPlan) {
+	if e.cfg.DisableParallelScan || e.cfg.MaxScanWorkers < 2 {
+		return
+	}
+	if pp.kind != accessFull && pp.kind != accessPKRange {
+		return
+	}
+	if pp.scanRev || pp.whereErr != nil {
+		return
+	}
+	t := pp.table
+	if t.Columns[t.PKIndex].Type != sqlparse.TypeInt {
+		return
+	}
+	if pp.kind == accessPKRange && (!pp.lo.IsInt || !pp.hi.IsInt) {
+		return
+	}
+	pp.parWorkers = e.cfg.MaxScanWorkers
+	if pp.parWorkers > maxScanPartitions {
+		pp.parWorkers = maxScanPartitions
+	}
+	pp.parMinRows = e.cfg.ParallelScanMinRows
+}
+
 // buildSelectPlan lowers and templates a SELECT.
 func (e *Engine) buildSelectPlan(t *Table, st *sqlparse.Select) *physicalPlan {
 	lp := lowerSelect(t, st)
@@ -171,6 +340,7 @@ func (e *Engine) buildSelectPlan(t *Table, st *sqlparse.Select) *physicalPlan {
 	e.buildAccess(pp, lp.scan)
 	pp.deferredErr = lp.deferredErr
 	if lp.deferredErr != nil {
+		e.markParallel(pp)
 		return pp
 	}
 	if lp.agg {
@@ -182,6 +352,7 @@ func (e *Engine) buildSelectPlan(t *Table, st *sqlparse.Select) *physicalPlan {
 			pp.limit = lp.limit
 			pp.dLimit = fmt.Sprintf("Limit: %d", lp.limit)
 		}
+		e.markParallel(pp)
 		return pp
 	}
 	pp.proj = lp.proj
@@ -222,6 +393,9 @@ func (e *Engine) buildSelectPlan(t *Table, st *sqlparse.Select) *physicalPlan {
 	if pp.limit >= 0 && !pp.useTopN {
 		pp.dLimit = fmt.Sprintf("Limit: %d", pp.limit)
 	}
+	// After the sort absorption decisions: eligibility depends on the
+	// final scanRev.
+	e.markParallel(pp)
 	return pp
 }
 
@@ -307,6 +481,66 @@ type planInstance struct {
 	stageBuf [maxPlanDepth]perfschema.StageEvent
 }
 
+// buildParallel decides, from live state, whether this execution fans
+// the clustered scan out across partition workers, and builds the
+// ParallelScan leaf if so. Returning nil keeps the scan serial. The
+// split points come from statistics (full scan) or the scan's own
+// bounds (pk-range), but the *outer* partition edges always extend to
+// the scan's true bounds — the key-space extremes for a full scan — so
+// stale statistics can only unbalance the partitions, never drop keys.
+// Everything read here (row count, stats bounds) is live, so a cached
+// template and a fresh build of the same statement partition
+// identically at the same execution point.
+func (pp *physicalPlan) buildParallel(fc exec.FetchCounter) *exec.ParallelScan {
+	if pp.parWorkers < 2 {
+		return nil
+	}
+	t := pp.table
+	n := t.rows.Load()
+	if n < pp.parMinRows {
+		return nil
+	}
+	var outerLo, outerHi, splitLo, splitHi int64
+	if pp.kind == accessPKRange {
+		outerLo, outerHi = pp.lo.Int, pp.hi.Int
+		splitLo, splitHi = outerLo, outerHi
+	} else {
+		cs, analyzed := t.statsFor(t.PKIndex)
+		if !analyzed || !cs.HaveMinMax {
+			// No key-space bounds to split on: a full scan fans out only
+			// on analyzed tables.
+			return nil
+		}
+		outerLo, outerHi = math.MinInt64, math.MaxInt64
+		splitLo, splitHi = cs.Min, cs.Max
+	}
+	k := pp.parWorkers
+	span := uint64(splitHi) - uint64(splitLo) // two's complement: correct for any int64 pair
+	if splitHi <= splitLo || span < uint64(k) {
+		return nil
+	}
+	step := span / uint64(k)
+	pkName := t.Columns[t.PKIndex].Name
+	parts := make([]exec.PartitionScan, k)
+	lo := outerLo
+	for i := 0; i < k; i++ {
+		hi := outerHi
+		if i < k-1 {
+			hi = int64(uint64(splitLo)+uint64(i+1)*step) - 1
+		}
+		desc := fmt.Sprintf("Partition %d/%d on %s (%s between %d and %d)",
+			i+1, k, t.Name, pkName, lo, hi)
+		parts[i].Init(t.Tree,
+			sqlparse.Value{IsInt: true, Int: lo},
+			sqlparse.Value{IsInt: true, Int: hi}, desc)
+		lo = hi + 1
+	}
+	desc := fmt.Sprintf("Parallel scan on %s (workers=%d) (access=%s)", t.Name, k, pp.path)
+	par := new(exec.ParallelScan)
+	par.Init(desc, parts, n, fc)
+	return par
+}
+
 // instantiate builds fresh operators from the template. fc (may be nil)
 // lets the scan leaves attribute buffer-pool fetches per operator.
 func (pp *physicalPlan) instantiate(fc exec.FetchCounter) *planInstance {
@@ -318,18 +552,31 @@ func (pp *physicalPlan) instantiate(fc exec.FetchCounter) *planInstance {
 		pi.pointScan.Init(t.Tree, pp.lo, pp.dScan, fc)
 		leaf = &pi.pointScan
 	case accessPKRange:
-		pi.rangeScan.Init(t.Tree, pp.lo, pp.hi, pp.scanRev, pp.dScan, fc)
-		leaf = &pi.rangeScan
+		if par := pp.buildParallel(fc); par != nil {
+			leaf = par
+		} else {
+			pi.rangeScan.Init(t.Tree, pp.lo, pp.hi, pp.scanRev, pp.dScan, fc)
+			leaf = &pi.rangeScan
+		}
 	case accessIndex:
 		pi.rangeScan.Init(pp.ix.Tree, pp.lo, pp.hi, false, pp.dScan, fc)
 		leaf = &pi.rangeScan
 	default:
-		var hint int64
-		if pp.presize {
-			hint = t.rows.Load()
+		if par := pp.buildParallel(fc); par != nil {
+			leaf = par
+		} else {
+			var hint int64
+			if pp.presize {
+				hint = t.rows.Load()
+			}
+			pi.fullScan.Init(t.Tree, hint, pp.scanRev, pp.dScan, fc)
+			leaf = &pi.fullScan
 		}
-		pi.fullScan.Init(t.Tree, hint, pp.scanRev, pp.dScan, fc)
-		leaf = &pi.fullScan
+	}
+	if pp.scanIOWait > 0 {
+		if sw, ok := leaf.(interface{ SetSimulatedIOWait(time.Duration) }); ok {
+			sw.SetSimulatedIOWait(pp.scanIOWait)
+		}
 	}
 	root := leaf
 	if pp.kind == accessIndex {
@@ -371,11 +618,23 @@ func (pp *physicalPlan) instantiate(fc exec.FetchCounter) *planInstance {
 	}
 	pi.root, pi.leaf = root, leaf
 	pi.nodes = pi.nodeBuf[:0]
+	// The tree is a single-child chain except for a ParallelScan leaf,
+	// whose children (the partitions) are themselves leaves — so the
+	// depth-first walk is the chain walk plus one fan-out at the
+	// bottom. Serial plans stay within nodeBuf (no allocation);
+	// parallel plans may spill, which is noise against the scan they
+	// front.
 	depth := 0
 	for op := root; op != nil; depth++ {
 		pi.nodes = append(pi.nodes, opNode{op, depth})
 		ch := op.Children()
 		if len(ch) == 0 {
+			break
+		}
+		if len(ch) > 1 {
+			for _, c := range ch {
+				pi.nodes = append(pi.nodes, opNode{c, depth + 1})
+			}
 			break
 		}
 		op = ch[0]
@@ -428,7 +687,13 @@ func (pi *planInstance) examined() int { return pi.leaf.Stats().RowsExamined }
 // instance's stageBuf — AddStages copies the group into the history
 // ring, so the ring never aliases (or retains) the planInstance.
 func (pi *planInstance) stages() []perfschema.StageEvent {
-	out := pi.stageBuf[:len(pi.nodes)]
+	out := pi.stageBuf[:0]
+	if len(pi.nodes) > len(pi.stageBuf) {
+		// Parallel plans carry one stage per partition and can outgrow
+		// the fixed buffer.
+		out = make([]perfschema.StageEvent, 0, len(pi.nodes))
+	}
+	out = out[:len(pi.nodes)]
 	for i, n := range pi.nodes {
 		st := n.op.Stats()
 		out[i] = perfschema.StageEvent{

@@ -251,6 +251,11 @@ func TestPlanCacheLeakageEquivalence(t *testing.T) {
 		"SELECT id FROM accounts WHERE owner = 'bob'",
 		"DELETE FROM accounts WHERE id = 2",
 		"SELECT COUNT(*) FROM accounts",
+		"ANALYZE TABLE accounts",                      // statistics rebuild: bumps the plan epoch
+		"SELECT id FROM accounts WHERE owner = 'bob'", // re-planned against fresh statistics
+		"SELECT id FROM accounts WHERE owner = 'bob'", // hit on the re-costed plan
+		"ANALYZE TABLE missing",                       // error path, repeated
+		"ANALYZE TABLE missing",
 		"SELECT owner FROM accounts ORDER BY balance DESC LIMIT 1",
 		"SELECT owner FROM accounts ORDER BY balance DESC LIMIT 1", // hit on ORDER BY/LIMIT
 		"SELECT SUM(balance) FROM accounts WHERE id >= 1 AND id <= 3",

@@ -268,6 +268,9 @@ func (e *Engine) loadCheckpoint(meta ckptMeta, tsImage []byte) error {
 			})
 		}
 		sort.Slice(t.Indexes, func(i, j int) bool { return t.Indexes[i].Name < t.Indexes[j].Name })
+		if ct.Stats != nil {
+			t.setStats(ct.Stats.Cols, ct.Stats.AnalyzedAt, ct.Stats.Baseline)
+		}
 		if t.Name == "" || e.tables[t.Name] != nil {
 			return fmt.Errorf("engine: checkpoint catalog has duplicate or empty table %q", t.Name)
 		}
@@ -310,6 +313,7 @@ func (e *Engine) applyRedo(r wal.Record) (undo wal.Record, applied bool, err err
 			return wal.Record{}, false, err
 		}
 		t.rows.Add(1)
+		t.statsNoteInsert(r.Image)
 		undo = wal.Record{Txn: r.Txn, Op: wal.OpInsert, Table: r.Table, Column: wal.WholeRow,
 			Image: storage.Record{key}}
 		return undo, true, nil
@@ -338,6 +342,7 @@ func (e *Engine) applyRedo(r wal.Record) (undo wal.Record, applied bool, err err
 		if _, err := t.Tree.Update(key, updated); err != nil {
 			return wal.Record{}, false, err
 		}
+		t.statsNoteUpdate(col, newVal)
 		undo = wal.Record{Txn: r.Txn, Op: wal.OpUpdate, Table: r.Table, Column: r.Column,
 			Image: storage.Record{key, pre}}
 		return undo, true, nil

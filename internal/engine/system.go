@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"time"
 
 	"snapdb/internal/binlog"
@@ -61,6 +62,58 @@ func (e *Engine) systemSelect(st *sqlparse.Select) (*Result, bool) {
 				sqlparse.IntValue(int64(ev.RowsReturned)),
 				sqlparse.IntValue(int64(ev.PoolFetches)),
 			})
+		}
+		return out, true
+	case "information_schema.table_statistics":
+		// One row per analyzed table: when ANALYZE last ran, the row
+		// count it saw (the drift baseline), and the live row hint.
+		// Never-analyzed tables are omitted — they have no statistics
+		// to show, which is itself the signal the planner acts on.
+		out := &Result{Columns: []string{"table_name", "analyzed_at", "baseline_rows", "live_rows"}}
+		for _, t := range e.Tables() {
+			analyzed, at, baseline, _ := t.statsSnapshot()
+			if !analyzed {
+				continue
+			}
+			out.Rows = append(out.Rows, storage.Record{
+				sqlparse.StrValue(t.Name),
+				sqlparse.IntValue(at),
+				sqlparse.IntValue(baseline),
+				sqlparse.IntValue(t.rows.Load()),
+			})
+		}
+		return out, true
+	case "information_schema.index_statistics":
+		// One row per (analyzed table, summarized column): the
+		// distinct count and, for INT columns, the value bounds the
+		// cost model interpolates ranges against. Ordered by table
+		// name then column index for determinism.
+		out := &Result{Columns: []string{"table_name", "column_name", "distinct_count", "have_min_max", "min_value", "max_value"}}
+		for _, t := range e.Tables() {
+			analyzed, _, _, cols := t.statsSnapshot()
+			if !analyzed {
+				continue
+			}
+			idxs := make([]int, 0, len(cols))
+			for idx := range cols {
+				idxs = append(idxs, idx)
+			}
+			sort.Ints(idxs)
+			for _, idx := range idxs {
+				cs := cols[idx]
+				hav := int64(0)
+				if cs.HaveMinMax {
+					hav = 1
+				}
+				out.Rows = append(out.Rows, storage.Record{
+					sqlparse.StrValue(t.Name),
+					sqlparse.StrValue(t.Columns[idx].Name),
+					sqlparse.IntValue(cs.Distinct),
+					sqlparse.IntValue(hav),
+					sqlparse.IntValue(cs.Min),
+					sqlparse.IntValue(cs.Max),
+				})
+			}
 		}
 		return out, true
 	case "performance_schema.events_statements_summary_by_digest":

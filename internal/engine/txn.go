@@ -198,6 +198,7 @@ func (e *Engine) applyUndo(txn uint64, undo []wal.Record) error {
 				return err
 			}
 			t.rows.Add(1)
+			t.statsNoteInsert(rec.Image)
 			if _, _, err := e.wal.TxInsert(txn, t.ID, rec.Image); err != nil {
 				return fmt.Errorf("logging compensation: %w", err)
 			}

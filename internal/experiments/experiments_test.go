@@ -294,7 +294,7 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 14 {
+	if len(results) != 15 {
 		t.Fatalf("got %d experiments", len(results))
 	}
 	seen := map[string]bool{}
@@ -327,6 +327,27 @@ func TestE13CrashResidue(t *testing.T) {
 		t.Error("no uncommitted writes reconstructed")
 	}
 	if !strings.Contains(res.Render(), "E13") {
+		t.Error("render missing experiment id")
+	}
+}
+
+func TestE15ParallelTrace(t *testing.T) {
+	res, err := E15ParallelTrace(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ResultsIdentical || !res.BinlogIdentical || !res.GeneralIdentical {
+		t.Errorf("semantic artifacts diverged: results=%v binlog=%v general=%v",
+			res.ResultsIdentical, res.BinlogIdentical, res.GeneralIdentical)
+	}
+	if res.FirstDivergence < 0 {
+		t.Error("fetch traces never diverged between serial and parallel runs")
+	}
+	if res.ParallelFetches <= res.SerialFetches {
+		t.Errorf("parallel fetches %d not above serial %d (per-partition descents missing?)",
+			res.ParallelFetches, res.SerialFetches)
+	}
+	if !strings.Contains(res.Render(), "E15") {
 		t.Error("render missing experiment id")
 	}
 }

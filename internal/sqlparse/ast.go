@@ -318,6 +318,19 @@ func (c *CreateIndex) SQL() string {
 	return fmt.Sprintf("CREATE INDEX %s ON %s (%s)", c.Name, c.Table, c.Column)
 }
 
+// AnalyzeTable is an ANALYZE TABLE statement: rebuild the table's
+// planner statistics from a full scan.
+type AnalyzeTable struct {
+	Table string
+}
+
+func (*AnalyzeTable) stmt() {}
+
+// SQL renders the statement.
+func (a *AnalyzeTable) SQL() string {
+	return "ANALYZE TABLE " + a.Table
+}
+
 // TxnOp is a transaction-control statement kind.
 type TxnOp int
 

@@ -106,6 +106,8 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return &TxnControl{Op: TxnRollback}, nil
 	case "EXPLAIN":
 		return p.parseExplain()
+	case "ANALYZE":
+		return p.parseAnalyze()
 	default:
 		return nil, fmt.Errorf("sqlparse: unsupported statement %q", t.Text)
 	}
@@ -128,6 +130,19 @@ func (p *Parser) parseExplain() (Statement, error) {
 		return nil, err
 	}
 	return &Explain{Stmt: inner, Analyze: analyze}, nil
+}
+
+// parseAnalyze parses ANALYZE TABLE <name>.
+func (p *Parser) parseAnalyze() (Statement, error) {
+	p.next() // ANALYZE
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	return &AnalyzeTable{Table: name}, nil
 }
 
 func (p *Parser) parseCreate() (Statement, error) {

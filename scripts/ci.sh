@@ -40,7 +40,7 @@ echo "== bench smoke =="
 # benchmark that no longer compiles or errors at runtime (timing is
 # meaningless at -benchtime 1x; scripts/benchdiff.sh does the timing
 # comparison against the committed baseline).
-go test -run '^$' -bench 'PlanCache|BatchedThroughput|SortedRead' -benchtime 1x .
+go test -run '^$' -bench 'PlanCache|BatchedThroughput|SortedRead|ParallelScan|CostedPlanning' -benchtime 1x .
 go test -run '^$' -bench 'TopN' -benchtime 1x ./internal/engine/exec
 
 echo "== fuzz smoke =="
