@@ -113,6 +113,23 @@ type Config struct {
 	DisablePerfSchema bool // no statement events, history, or digests
 	ScrubProcesslist  bool // clear statement text when a query finishes
 
+	// MVCC knobs. The engine runs multi-version snapshot isolation by
+	// default: writers file each mutated row's pre-image into a version
+	// chain, SELECTs resolve against a read view without taking table
+	// locks, and a purge pass reclaims versions older than the oldest
+	// open view. DisableMVCC reverts to the legacy stripe-locked reads
+	// (the differential tests' control arm). DisablePurge retains every
+	// version forever — E16's worst-case residue arm. PurgeEvery is the
+	// statement interval between inline purge sweeps (default 256);
+	// PurgeBatch caps the chains examined per sweep (0 = all);
+	// PurgeInterval, when positive, also runs purge from a background
+	// goroutine (stop it with Engine.Close).
+	DisableMVCC   bool
+	DisablePurge  bool
+	PurgeEvery    int
+	PurgeBatch    int
+	PurgeInterval time.Duration
+
 	// SimulatedIOWait, when positive, models the device latency a real
 	// statement pays (page reads, commit flush) as a sleep inside the
 	// statement's table-lock scope. The concurrency benchmarks and E12
@@ -174,8 +191,15 @@ func (c Config) normalized() Config {
 	if c.ParallelScanMinRows <= 0 {
 		c.ParallelScanMinRows = DefaultParallelScanMinRows
 	}
+	if c.PurgeEvery <= 0 {
+		c.PurgeEvery = DefaultPurgeEvery
+	}
 	return c
 }
+
+// DefaultPurgeEvery is the default statement interval between inline
+// MVCC purge sweeps.
+const DefaultPurgeEvery = 256
 
 // Table is one table's catalog entry.
 type Table struct {
@@ -196,6 +220,19 @@ type Table struct {
 	// rows, it is advisory: the cost model reads it, correctness never
 	// does. See stats.go.
 	stats tableStats
+
+	// latch orders MVCC readers against writers at tree granularity:
+	// DML holds it exclusively across its tree mutations, an MVCC
+	// SELECT holds it shared across planning and the scan. It replaces
+	// the stripe lock on the read path only — writers still serialize
+	// per table on the stripes, the latch just keeps a reader from
+	// observing a half-applied multi-row statement.
+	latch sync.RWMutex
+
+	// mvccChains counts this table's live version chains (maintained by
+	// the version store). Zero is the fast path: the tree is exactly
+	// every view, so reads keep the query cache and parallel scans.
+	mvccChains atomic.Int64
 }
 
 // RowHint returns the advisory row count.
@@ -269,6 +306,17 @@ type Engine struct {
 	openTxns atomic.Int64
 
 	statements atomic.Uint64 // executed statement count, drives periodic dumps
+
+	// versions is the MVCC version store; nil when Config.DisableMVCC
+	// reverts to legacy stripe-locked reads. See mvcc.go.
+	versions *mvccStore
+	// activeTxns tracks sessions' open explicit transactions for the
+	// information_schema.active_transactions surface (guarded by mu).
+	activeTxns map[int]*txnState
+	// purgeStop terminates the background purge goroutine (when
+	// Config.PurgeInterval started one); closed once by Close.
+	purgeStop chan struct{}
+	purgeOnce sync.Once
 }
 
 // DumpInterval is how many statements pass between periodic buffer-pool
@@ -304,8 +352,16 @@ func New(cfg Config) (*Engine, error) {
 		arena:      heap.NewArena(),
 		tables:     make(map[string]*Table),
 		tablesByID: make(map[uint8]*Table),
+		activeTxns: make(map[int]*txnState),
 	}
 	e.fc = pool.FetchCount
+	if !cfg.DisableMVCC {
+		e.versions = newMVCCStore()
+		if cfg.PurgeInterval > 0 && !cfg.DisablePurge {
+			e.purgeStop = make(chan struct{})
+			go e.purgeLoop(cfg.PurgeInterval)
+		}
+	}
 	if !cfg.DisablePlanCache {
 		e.plans = newPlanCache(cfg.PlanCacheEntries)
 	}
@@ -368,6 +424,11 @@ type Session struct {
 
 	// txn is the open explicit transaction, nil in autocommit mode.
 	txn *txnState
+
+	// nextTxnReadOnly applies SET TRANSACTION READ ONLY to the next
+	// BEGIN on this session (one-shot, like MySQL's statement-scoped
+	// form).
+	nextTxnReadOnly bool
 }
 
 // Connect opens a new session.
@@ -382,6 +443,15 @@ func (e *Engine) Connect(user string) *Session {
 
 // Close ends the session.
 func (s *Session) Close() { s.eng.procs.Unregister(s.ID) }
+
+// rejectReadOnlyTxn refuses DML inside a SET TRANSACTION READ ONLY
+// transaction, like MySQL's ER_CANT_EXECUTE_IN_READ_ONLY_TRANSACTION.
+func (s *Session) rejectReadOnlyTxn(stmt string) error {
+	if s.txn != nil && s.txn.readOnly {
+		return fmt.Errorf("engine: cannot execute %s in a READ ONLY transaction", stmt)
+	}
+	return nil
+}
 
 // Result is the outcome of one statement.
 type Result struct {
@@ -524,7 +594,8 @@ func (s *Session) executeWith(query string, fn execFn) (*Result, error) {
 	_ = e.arena.Free(parseBuf)
 	_ = e.arena.Free(digestBuf)
 
-	if n := e.statements.Add(1); n%DumpInterval == 0 {
+	n := e.statements.Add(1)
+	if n%DumpInterval == 0 {
 		dump := e.pool.DumpFile()
 		e.mu.Lock()
 		e.bufpoolDump = dump
@@ -535,6 +606,13 @@ func (s *Session) executeWith(query string, fn execFn) (*Result, error) {
 			// checksum before trusting it.
 			_ = e.persist.writeDump(dump)
 		}
+	}
+	// Inline MVCC purge, the deterministic analogue of InnoDB's purge
+	// thread (a background goroutine also runs when PurgeInterval is
+	// set). Statement-count driven so experiments can reproduce the
+	// residue window exactly.
+	if e.versions != nil && !e.cfg.DisablePurge && n%uint64(e.cfg.PurgeEvery) == 0 {
+		e.versions.purge(e.cfg.PurgeBatch)
 	}
 	return res, err
 }
@@ -578,6 +656,9 @@ func (e *Engine) execute(s *Session, query string, pl *plan, parseErr error, ts 
 		e.simulateIO()
 		return e.execCreateIndex(s, st, query, ts)
 	case *sqlparse.Insert:
+		if err := s.rejectReadOnlyTxn("INSERT"); err != nil {
+			return nil, err
+		}
 		mu := e.locks.exclusive(st.Table)
 		defer mu.Unlock()
 		e.simulateIO()
@@ -586,16 +667,27 @@ func (e *Engine) execute(s *Session, query string, pl *plan, parseErr error, ts 
 		if isSystemTable(st.Table) {
 			return e.execSelect(s, st, pl, query)
 		}
+		if e.versions != nil {
+			// MVCC consistent read: no table lock at all — visibility
+			// comes from the statement's read view (see mvcc.go).
+			return e.execSelectMVCC(s, st, pl, query)
+		}
 		mu := e.locks.shared(st.Table)
 		defer mu.RUnlock()
 		e.simulateIO()
 		return e.execSelect(s, st, pl, query)
 	case *sqlparse.Update:
+		if err := s.rejectReadOnlyTxn("UPDATE"); err != nil {
+			return nil, err
+		}
 		mu := e.locks.exclusive(st.Table)
 		defer mu.Unlock()
 		e.simulateIO()
 		return e.execUpdate(s, st, pl, query, ts)
 	case *sqlparse.Delete:
+		if err := s.rejectReadOnlyTxn("DELETE"); err != nil {
+			return nil, err
+		}
 		mu := e.locks.exclusive(st.Table)
 		defer mu.Unlock()
 		e.simulateIO()
@@ -615,6 +707,22 @@ func (e *Engine) execute(s *Session, query string, pl *plan, parseErr error, ts 
 			defer e.locks.unlockAll()
 		}
 		return e.execTxnControl(s, st, ts)
+	case *sqlparse.SetTxn:
+		if s.txn != nil {
+			return nil, fmt.Errorf("engine: SET TRANSACTION not allowed inside an open transaction")
+		}
+		s.nextTxnReadOnly = st.ReadOnly
+		return &Result{}, nil
+	case *sqlparse.DropTable:
+		if s.txn != nil {
+			// DDL is not transactional; refusing inside a txn keeps the
+			// undo log from referencing a vanished table on rollback.
+			return nil, fmt.Errorf("engine: DROP TABLE inside an open transaction is not supported")
+		}
+		e.locks.lockAll()
+		defer e.locks.unlockAll()
+		e.simulateIO()
+		return e.execDrop(st, query, ts)
 	case *sqlparse.Explain:
 		if st.Analyze {
 			// EXPLAIN ANALYZE runs the wrapped statement for real, so it
@@ -694,6 +802,43 @@ func (e *Engine) execCreate(st *sqlparse.CreateTable, query string, ts int64) (*
 	return &Result{}, nil
 }
 
+// execDrop removes a table from the catalog. The tree's pages are not
+// scrubbed — like InnoDB, dropping is a catalog operation, and any
+// in-flight MVCC reader keeps scanning the orphaned tree safely — but
+// the version store's chains for the table are discarded.
+func (e *Engine) execDrop(st *sqlparse.DropTable, query string, ts int64) (*Result, error) {
+	if e.persist != nil {
+		if n := e.openTxns.Load(); n != 0 {
+			return nil, fmt.Errorf("engine: DDL refused: %d open transaction(s)", n)
+		}
+	}
+	e.mu.Lock()
+	t, ok := e.tables[st.Table]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
+	}
+	delete(e.tables, st.Table)
+	delete(e.tablesByID, t.ID)
+	if e.plans != nil {
+		e.plans.bumpEpoch()
+	}
+	e.mu.Unlock()
+	if e.versions != nil {
+		e.versions.dropTable(t.ID)
+	}
+	e.qcache.InvalidateTable(t.Name)
+	if e.cfg.EnableBinlog {
+		if err := e.binlog.Commit(binlog.Event{Timestamp: ts, Statement: query}); err != nil {
+			return nil, fmt.Errorf("engine: binlog: %w", err)
+		}
+	}
+	if err := e.checkpointLocked(); err != nil {
+		return nil, fmt.Errorf("engine: DDL checkpoint: %w", err)
+	}
+	return &Result{}, nil
+}
+
 // lookupTable returns the catalog entry, including virtual system tables.
 func (e *Engine) lookupTable(name string) (*Table, error) {
 	e.mu.Lock()
@@ -740,18 +885,41 @@ func (e *Engine) execInsert(s *Session, st *sqlparse.Insert, pl *plan, query str
 		rows = append(rows, row)
 	}
 	txn, auto := s.stmtTxn(e)
-	for _, row := range rows {
-		if err := t.Tree.Insert(row); err != nil {
-			return nil, err
+	touched := false
+	if auto && e.versions != nil {
+		// Versions written by an autocommit statement become visible
+		// when it finishes — even on a mid-statement error, because the
+		// in-place tree writes before the error persist exactly as they
+		// always did.
+		defer func() {
+			if touched {
+				e.versions.commit(txn)
+			}
+		}()
+	}
+	// The write latch covers the whole mutation loop: MVCC readers
+	// (which take no stripe) never observe a half-applied statement.
+	if err := func() error {
+		t.latch.Lock()
+		defer t.latch.Unlock()
+		for _, row := range rows {
+			if err := t.Tree.Insert(row); err != nil {
+				return err
+			}
+			if err := indexInsertRow(t, row); err != nil {
+				return err
+			}
+			e.noteVersion(t, row[t.PKIndex], nil, false, txn)
+			touched = true
+			_, undo, err := e.wal.TxInsert(txn, t.ID, row)
+			if err != nil {
+				return fmt.Errorf("engine: wal: %w", err)
+			}
+			s.noteUndo(undo)
 		}
-		if err := indexInsertRow(t, row); err != nil {
-			return nil, err
-		}
-		_, undo, err := e.wal.TxInsert(txn, t.ID, row)
-		if err != nil {
-			return nil, fmt.Errorf("engine: wal: %w", err)
-		}
-		s.noteUndo(undo)
+		return nil
+	}(); err != nil {
+		return nil, err
 	}
 	e.qcache.InvalidateTable(t.Name)
 	if err := s.emitBinlog(e, binlog.Event{Timestamp: ts, Statement: query}); err != nil {
@@ -944,26 +1112,46 @@ func (e *Engine) execUpdate(s *Session, st *sqlparse.Update, pl *plan, query str
 		return nil, pp.deferredErr
 	}
 	txn, auto := s.stmtTxn(e)
-	for _, old := range rows {
-		updated := old.Clone()
-		for _, op := range pp.sets {
-			// Byte-level change records, one per modified column.
-			_, undo, err := e.wal.TxUpdate(txn, t.ID,
-				storage.Record{old[t.PKIndex]}, uint8(op.idx),
-				storage.Record{old[op.idx]}, storage.Record{op.val})
-			if err != nil {
-				return nil, fmt.Errorf("engine: wal: %w", err)
+	touched := false
+	if auto && e.versions != nil {
+		defer func() {
+			if touched {
+				e.versions.commit(txn)
 			}
-			s.noteUndo(undo)
-			if err := indexUpdateColumn(t, old[t.PKIndex], op.idx, old[op.idx], op.val); err != nil {
-				return nil, err
+		}()
+	}
+	if err := func() error {
+		t.latch.Lock()
+		defer t.latch.Unlock()
+		for _, old := range rows {
+			// File the pre-image before the first byte of this row
+			// changes; the tree's Update replaces the stored record, so
+			// old stays intact for the chain.
+			e.noteVersion(t, old[t.PKIndex], old, false, txn)
+			touched = true
+			updated := old.Clone()
+			for _, op := range pp.sets {
+				// Byte-level change records, one per modified column.
+				_, undo, err := e.wal.TxUpdate(txn, t.ID,
+					storage.Record{old[t.PKIndex]}, uint8(op.idx),
+					storage.Record{old[op.idx]}, storage.Record{op.val})
+				if err != nil {
+					return fmt.Errorf("engine: wal: %w", err)
+				}
+				s.noteUndo(undo)
+				if err := indexUpdateColumn(t, old[t.PKIndex], op.idx, old[op.idx], op.val); err != nil {
+					return err
+				}
+				t.statsNoteUpdate(op.idx, op.val)
+				updated[op.idx] = op.val
 			}
-			t.statsNoteUpdate(op.idx, op.val)
-			updated[op.idx] = op.val
+			if _, err := t.Tree.Update(old[t.PKIndex], updated); err != nil {
+				return err
+			}
 		}
-		if _, err := t.Tree.Update(old[t.PKIndex], updated); err != nil {
-			return nil, err
-		}
+		return nil
+	}(); err != nil {
+		return nil, err
 	}
 	e.qcache.InvalidateTable(t.Name)
 	if len(rows) > 0 {
@@ -1000,20 +1188,40 @@ func (e *Engine) execDelete(s *Session, st *sqlparse.Delete, pl *plan, query str
 		return nil, err
 	}
 	txn, auto := s.stmtTxn(e)
+	touched := false
+	if auto && e.versions != nil {
+		defer func() {
+			if touched {
+				e.versions.commit(txn)
+			}
+		}()
+	}
 	t.rows.Add(-int64(len(rows)))
 	e.maybeStatsDrift(t)
-	for _, old := range rows {
-		if _, err := t.Tree.Delete(old[t.PKIndex]); err != nil {
-			return nil, err
+	if err := func() error {
+		t.latch.Lock()
+		defer t.latch.Unlock()
+		for _, old := range rows {
+			// The deleted row's image goes into the version chain as a
+			// tombstoned pre-image — the "deleted data persists" residue
+			// E16 recovers until purge drops the chain.
+			e.noteVersion(t, old[t.PKIndex], old, true, txn)
+			touched = true
+			if _, err := t.Tree.Delete(old[t.PKIndex]); err != nil {
+				return err
+			}
+			if err := indexDeleteRow(t, old); err != nil {
+				return err
+			}
+			_, undo, err := e.wal.TxDelete(txn, t.ID, old)
+			if err != nil {
+				return fmt.Errorf("engine: wal: %w", err)
+			}
+			s.noteUndo(undo)
 		}
-		if err := indexDeleteRow(t, old); err != nil {
-			return nil, err
-		}
-		_, undo, err := e.wal.TxDelete(txn, t.ID, old)
-		if err != nil {
-			return nil, fmt.Errorf("engine: wal: %w", err)
-		}
-		s.noteUndo(undo)
+		return nil
+	}(); err != nil {
+		return nil, err
 	}
 	e.qcache.InvalidateTable(t.Name)
 	if len(rows) > 0 {

@@ -38,6 +38,10 @@ type scanBase struct {
 	// (see Config.SimulatedScanIOWait). Zero — the default — keeps the
 	// traversal exactly as fast as it always was.
 	ioWait time.Duration
+
+	// vis, when set, arms the MVCC view-resolution hooks (see
+	// visible.go). Nil — the default — keeps the scan a current read.
+	vis *Visibility
 }
 
 // SetDeadlineCheck arms the statement-deadline check on this leaf. It
@@ -105,7 +109,9 @@ func (s *scanBase) visit(r storage.Record) bool {
 	if s.ioWait > 0 && s.stats.RowsExamined%scanIOInterval == 0 {
 		time.Sleep(s.ioWait)
 	}
-	s.buf = append(s.buf, r)
+	if vr, ok := s.resolveVisit(r); ok {
+		s.buf = append(s.buf, vr)
+	}
 	return true
 }
 
@@ -149,6 +155,7 @@ func (s *FullScan) Open() error {
 	if err == nil && s.dlErr != nil {
 		return s.dlErr
 	}
+	s.mergeGhosts()
 	s.reverse()
 	return err
 }
@@ -187,6 +194,7 @@ func (s *IndexPointScan) Open() error {
 	if err == nil && s.dlErr != nil {
 		return s.dlErr
 	}
+	s.mergeGhosts()
 	return err
 }
 
@@ -223,6 +231,7 @@ func (s *IndexRangeScan) Open() error {
 	if err == nil && s.dlErr != nil {
 		return s.dlErr
 	}
+	s.mergeGhosts()
 	s.reverse()
 	return err
 }
@@ -252,6 +261,10 @@ type KeyLookup struct {
 	pos       int
 	fc        FetchCounter
 	stats     Stats
+
+	// resolver, when set, serves version-store rows for entries whose
+	// visible version is not the clustered tree's row (see visible.go).
+	resolver LookupResolver
 }
 
 // NewKeyLookup builds a lookup of input's pk entries in clustered.
@@ -271,6 +284,11 @@ func (k *KeyLookup) Init(input Operator, clustered *btree.Tree, indexName, desc 
 func (k *KeyLookup) resolve(entry storage.Record) (storage.Record, error) {
 	pk := entry[1]
 	k.stats.RowsExamined++
+	if k.resolver != nil {
+		if row, ok := k.resolver(pk); ok {
+			return row, nil
+		}
+	}
 	before := sampleFetches(k.fc)
 	row, found, err := k.clustered.Search(pk)
 	k.stats.PoolFetches += sampleFetches(k.fc) - before

@@ -117,6 +117,11 @@ func (e *Engine) execExplainAnalyze(s *Session, st *sqlparse.Explain, ts int64) 
 		if isSystemTable(inner.Table) {
 			return nil, fmt.Errorf("engine: cannot EXPLAIN ANALYZE system table %q", inner.Table)
 		}
+		if e.versions != nil {
+			// MVCC reads take no table stripe — only the read latch,
+			// inside the MVCC variant.
+			return e.execExplainAnalyzeSelectMVCC(s, inner)
+		}
 		mu := e.locks.shared(inner.Table)
 		defer mu.RUnlock()
 		e.simulateIO()
@@ -159,6 +164,50 @@ func (e *Engine) execExplainAnalyzeSelect(s *Session, st *sqlparse.Select) (*Res
 	}
 	pi := pp.instantiate(e.fc)
 	pi.armDeadline(s.deadlineCheck())
+	if _, err := pi.drain(); err != nil {
+		return nil, err
+	}
+	if pp.deferredErr != nil {
+		return nil, pp.deferredErr
+	}
+	stages := pi.stages()
+	return &Result{
+		Columns:      []string{"EXPLAIN"},
+		Rows:         analyzeLines("", stages, pi.leaf.Describe(), pp.estRows, pp.estCost),
+		RowsExamined: pi.examined(),
+		AccessPath:   pp.path,
+		stages:       stages,
+	}, nil
+}
+
+// execExplainAnalyzeSelectMVCC is the snapshot-isolation twin of
+// execExplainAnalyzeSelect: same fresh planning and annotated-tree
+// rendering, but executed under the table read latch with the
+// statement's read view armed on the leaves, exactly as the bare
+// MVCC SELECT would run (the query cache is bypassed either way).
+func (e *Engine) execExplainAnalyzeSelectMVCC(s *Session, st *sqlparse.Select) (*Result, error) {
+	t, err := e.lookupTable(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	e.simulateIO()
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	view, release := e.selectView(s, t)
+	if release != nil {
+		defer release()
+	}
+	var vf *versionFilter
+	if view != nil {
+		vf = e.versions.filterFor(t, view)
+	}
+	pp := e.buildSelectPlan(t, st)
+	if pp.whereErr != nil {
+		return nil, pp.whereErr
+	}
+	pi := pp.instantiateOpts(e.fc, vf != nil)
+	pi.armDeadline(s.deadlineCheck())
+	pi.armVisibility(pp, vf)
 	if _, err := pi.drain(); err != nil {
 		return nil, err
 	}

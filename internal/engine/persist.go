@@ -205,6 +205,13 @@ type ckptMeta struct {
 	Txn         uint64
 	NextTableID uint8
 	Tables      []ckptTable
+
+	// Versions carries the MVCC version store through the checkpoint —
+	// deliberately, and measurably (E16): the checkpoint truncates the
+	// WAL files, closing the redo/undo forensic window, but the old row
+	// versions it serializes here keep every not-yet-purged pre-image
+	// (including deleted rows) recoverable from the checkpoint file.
+	Versions *ckptVersions `json:",omitempty"`
 }
 
 // writeCheckpoint persists a quiesced engine image — catalog metadata
@@ -302,6 +309,9 @@ func (e *Engine) checkpointLocked() error {
 			ct.Stats = &ckptStats{AnalyzedAt: at, Baseline: baseline, Cols: cols}
 		}
 		meta.Tables = append(meta.Tables, ct)
+	}
+	if e.versions != nil {
+		meta.Versions = e.versions.ckptSnapshot()
 	}
 	tsImage := e.ts.Serialize()
 	e.mu.Unlock()

@@ -544,6 +544,14 @@ func (pp *physicalPlan) buildParallel(fc exec.FetchCounter) *exec.ParallelScan {
 // instantiate builds fresh operators from the template. fc (may be nil)
 // lets the scan leaves attribute buffer-pool fetches per operator.
 func (pp *physicalPlan) instantiate(fc exec.FetchCounter) *planInstance {
+	return pp.instantiateOpts(fc, false)
+}
+
+// instantiateOpts is instantiate with a serial override: an MVCC read
+// carrying a version filter pins the scan to the serial leaves, where
+// the visibility hooks live — a filtered scan never fans out across
+// partition workers.
+func (pp *physicalPlan) instantiateOpts(fc exec.FetchCounter, serial bool) *planInstance {
 	t := pp.table
 	pi := &planInstance{}
 	var leaf exec.Operator
@@ -552,7 +560,11 @@ func (pp *physicalPlan) instantiate(fc exec.FetchCounter) *planInstance {
 		pi.pointScan.Init(t.Tree, pp.lo, pp.dScan, fc)
 		leaf = &pi.pointScan
 	case accessPKRange:
-		if par := pp.buildParallel(fc); par != nil {
+		var par *exec.ParallelScan
+		if !serial {
+			par = pp.buildParallel(fc)
+		}
+		if par != nil {
 			leaf = par
 		} else {
 			pi.rangeScan.Init(t.Tree, pp.lo, pp.hi, pp.scanRev, pp.dScan, fc)
@@ -562,7 +574,11 @@ func (pp *physicalPlan) instantiate(fc exec.FetchCounter) *planInstance {
 		pi.rangeScan.Init(pp.ix.Tree, pp.lo, pp.hi, false, pp.dScan, fc)
 		leaf = &pi.rangeScan
 	default:
-		if par := pp.buildParallel(fc); par != nil {
+		var par *exec.ParallelScan
+		if !serial {
+			par = pp.buildParallel(fc)
+		}
+		if par != nil {
 			leaf = par
 		} else {
 			var hint int64

@@ -181,6 +181,13 @@ func Recover(fs vfs.FS, cfg Config) (*Engine, *RecoveryReport, error) {
 	loserMaxLSN := make(map[uint64]uint64)
 	for _, r := range redoRecs {
 		if r.Op.IsMarker() {
+			// Resolve the transaction in the version store at its marker,
+			// mirroring the original commit/rollback-completion points.
+			// Pre-checkpoint markers are skipped: those transactions'
+			// sequences came with the checkpoint's serialized store.
+			if r.Txn != 0 && (!found || r.LSN > meta.LSN) {
+				e.commitVersions(r.Txn)
+			}
 			continue
 		}
 		if found && r.LSN <= meta.LSN {
@@ -218,6 +225,9 @@ func Recover(fs vfs.FS, cfg Config) (*Engine, *RecoveryReport, error) {
 		if err := e.wal.LogAbort(txn); err != nil {
 			return nil, rep, fmt.Errorf("engine: abort marker for txn %d: %w", txn, err)
 		}
+		// As at a live ROLLBACK: the compensated state becomes the
+		// visible latest, the loser's intermediates stay invisible.
+		e.commitVersions(txn)
 		rep.TxnsRolledBack++
 	}
 
@@ -282,6 +292,13 @@ func (e *Engine) loadCheckpoint(meta ckptMeta, tsImage []byte) error {
 	}
 	e.nextTableID = meta.NextTableID
 	e.wal.SetRecovered(meta.LSN, meta.Txn)
+	if e.versions != nil {
+		// The checkpointed version store comes back whole: every
+		// not-yet-purged pre-image — deleted rows included — survives
+		// the crash (and the WAL truncation the checkpoint performed),
+		// which is E16's recovery arm.
+		e.versions.loadCkpt(meta.Versions, e.tablesByID)
+	}
 	return nil
 }
 
@@ -306,6 +323,7 @@ func (e *Engine) applyRedo(r wal.Record) (undo wal.Record, applied bool, err err
 		} else if exists {
 			return wal.Record{}, false, nil
 		}
+		e.noteVersion(t, key, nil, false, r.Txn)
 		if err := t.Tree.Insert(r.Image.Clone()); err != nil {
 			return wal.Record{}, false, err
 		}
@@ -334,6 +352,7 @@ func (e *Engine) applyRedo(r wal.Record) (undo wal.Record, applied bool, err err
 			return wal.Record{}, false, nil
 		}
 		pre := cur[col]
+		e.noteVersion(t, key, cur, false, r.Txn)
 		if err := indexUpdateColumn(t, key, col, pre, newVal); err != nil {
 			return wal.Record{}, false, err
 		}
@@ -358,6 +377,7 @@ func (e *Engine) applyRedo(r wal.Record) (undo wal.Record, applied bool, err err
 		if !foundRow {
 			return wal.Record{}, false, nil
 		}
+		e.noteVersion(t, key, row, true, r.Txn)
 		if _, err := t.Tree.Delete(key); err != nil {
 			return wal.Record{}, false, err
 		}

@@ -116,6 +116,115 @@ func (e *Engine) systemSelect(st *sqlparse.Select) (*Result, bool) {
 			}
 		}
 		return out, true
+	case "information_schema.active_transactions":
+		// One row per open explicit transaction: who holds it, its WAL
+		// txn id, access mode, buffered undo/binlog sizes, and the
+		// commit-sequence snapshot its read view pinned (-1 before the
+		// first consistent read). §4's point applies: transaction state
+		// is reachable through any SQL path.
+		out := &Result{Columns: []string{"session", "txn", "read_only", "undo_records", "binlog_events", "view_snap"}}
+		e.mu.Lock()
+		txns := make([]*txnState, 0, len(e.activeTxns))
+		for _, tx := range e.activeTxns {
+			txns = append(txns, tx)
+		}
+		e.mu.Unlock()
+		sort.Slice(txns, func(i, j int) bool { return txns[i].sessionID < txns[j].sessionID })
+		for _, tx := range txns {
+			ro, snap := int64(0), int64(-1)
+			if tx.readOnly {
+				ro = 1
+			}
+			tx.mu.Lock()
+			if tx.view != nil {
+				snap = int64(tx.view.snap)
+			}
+			nUndo, nEvs := len(tx.undo), len(tx.binlogBuf)
+			tx.mu.Unlock()
+			out.Rows = append(out.Rows, storage.Record{
+				sqlparse.IntValue(int64(tx.sessionID)),
+				sqlparse.IntValue(int64(tx.walTxn)),
+				sqlparse.IntValue(ro),
+				sqlparse.IntValue(int64(nUndo)),
+				sqlparse.IntValue(int64(nEvs)),
+				sqlparse.IntValue(snap),
+			})
+		}
+		return out, true
+	case "information_schema.mvcc_version_store":
+		// One row per version chain — the purge-lag / residue surface:
+		// deleted=1 chains still carrying versions are rows the
+		// application removed that remain readable here.
+		out := &Result{Columns: []string{"table_name", "pk", "latest_txn", "deleted", "versions"}}
+		if e.versions == nil {
+			return out, true
+		}
+		names := make(map[uint8]string)
+		e.mu.Lock()
+		for id, t := range e.tablesByID {
+			names[id] = t.Name
+		}
+		e.mu.Unlock()
+		type chainRow struct {
+			table    string
+			pk       sqlparse.Value
+			latest   uint64
+			deleted  bool
+			versions int
+		}
+		var chains []chainRow
+		st2 := e.versions
+		st2.mu.Lock()
+		for id, tv := range st2.tables {
+			name := names[id]
+			if name == "" {
+				name = "(dropped)"
+			}
+			for k, c := range tv.chains {
+				chains = append(chains, chainRow{name, k.value(), c.latestTxn, c.deleted, len(c.olds)})
+			}
+		}
+		st2.mu.Unlock()
+		sort.Slice(chains, func(i, j int) bool {
+			if chains[i].table != chains[j].table {
+				return chains[i].table < chains[j].table
+			}
+			return chains[i].pk.Compare(chains[j].pk) < 0
+		})
+		for _, c := range chains {
+			del := int64(0)
+			if c.deleted {
+				del = 1
+			}
+			out.Rows = append(out.Rows, storage.Record{
+				sqlparse.StrValue(c.table),
+				sqlparse.StrValue(c.pk.String()),
+				sqlparse.IntValue(int64(c.latest)),
+				sqlparse.IntValue(del),
+				sqlparse.IntValue(int64(c.versions)),
+			})
+		}
+		return out, true
+	case "information_schema.mvcc_status":
+		// Store-wide counters: commit sequence, chain/version totals,
+		// open views and the oldest snapshot pinning purge, and the
+		// purge statistics (the purge-lag view).
+		out := &Result{Columns: []string{"seq", "chains", "versions", "views", "oldest_view_snap", "commits_tracked", "purge_runs", "purged_versions"}}
+		if e.versions == nil {
+			return out, true
+		}
+		ms := e.versions.status()
+		out.Rows = append(out.Rows, storage.Record{
+			sqlparse.IntValue(int64(ms.seq)),
+			sqlparse.IntValue(int64(ms.chains)),
+			sqlparse.IntValue(int64(ms.versions)),
+			sqlparse.IntValue(int64(ms.views)),
+			sqlparse.IntValue(int64(ms.oldestViewSnap)),
+			sqlparse.IntValue(int64(ms.commitsTracked)),
+			sqlparse.IntValue(int64(ms.purgeRuns)),
+			sqlparse.IntValue(int64(ms.purgedVersions)),
+		})
+		return out, true
 	case "performance_schema.events_statements_summary_by_digest":
 		out := &Result{Columns: []string{"digest", "digest_text", "count_star", "sum_rows_examined", "sum_rows_sent", "first_seen", "last_seen"}}
 		for _, row := range e.perf.DigestSummary() {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"snapdb/internal/binlog"
 	"snapdb/internal/sqlparse"
@@ -18,9 +19,23 @@ import (
 // binlog is commit-scoped: statement events buffer in the transaction
 // and flush on COMMIT, as in MySQL's binlog cache.
 type txnState struct {
-	walTxn    uint64         // WAL transaction id (stamps every record)
+	walTxn uint64 // WAL transaction id (stamps every record)
+
+	// mu guards undo, binlogBuf and view: the owning session mutates
+	// them mid-transaction while the active_transactions system view
+	// reads them from other sessions.
+	mu        sync.Mutex
 	undo      []wal.Record   // this transaction's undo records, in order
 	binlogBuf []binlog.Event // statement events awaiting COMMIT
+
+	// sessionID owns the transaction (for the active_transactions view).
+	sessionID int
+	// readOnly marks a SET TRANSACTION READ ONLY transaction: DML is
+	// refused, reads still pin a consistent view.
+	readOnly bool
+	// view is the transaction's MVCC read view, pinned at its first
+	// consistent read (repeatable read) and released at COMMIT/ROLLBACK.
+	view *readView
 }
 
 // stmtTxn returns the WAL transaction id a statement logs under: the
@@ -40,7 +55,9 @@ func (s *Session) stmtTxn(e *Engine) (txn uint64, auto bool) {
 // durable.
 func (s *Session) noteUndo(rec wal.Record) {
 	if s.txn != nil {
+		s.txn.mu.Lock()
 		s.txn.undo = append(s.txn.undo, rec)
+		s.txn.mu.Unlock()
 	}
 }
 
@@ -53,7 +70,9 @@ func (s *Session) emitBinlog(e *Engine, ev binlog.Event) error {
 		return nil
 	}
 	if s.txn != nil {
+		s.txn.mu.Lock()
 		s.txn.binlogBuf = append(s.txn.binlogBuf, ev)
+		s.txn.mu.Unlock()
 		return nil
 	}
 	if err := e.binlog.Commit(ev); err != nil {
@@ -71,35 +90,59 @@ func (e *Engine) execTxnControl(s *Session, st *sqlparse.TxnControl, ts int64) (
 		if s.txn != nil {
 			return nil, fmt.Errorf("engine: transaction already open")
 		}
-		s.txn = &txnState{walTxn: e.wal.BeginTxn()}
+		s.txn = &txnState{walTxn: e.wal.BeginTxn(), sessionID: s.ID, readOnly: s.nextTxnReadOnly}
+		s.nextTxnReadOnly = false // one-shot, like MySQL's SET TRANSACTION
 		e.openTxns.Add(1)
+		e.mu.Lock()
+		e.activeTxns[s.ID] = s.txn
+		e.mu.Unlock()
 		return &Result{}, nil
 	case sqlparse.TxnCommit:
 		if s.txn == nil {
 			return nil, fmt.Errorf("engine: COMMIT without open transaction")
 		}
-		// Flush buffered statement events with the commit timestamp as
-		// one contiguous group-committed batch, as MySQL writes the
-		// binlog cache at commit. On a sink failure the transaction
-		// stays open: nothing is durable, and the client may retry or
-		// roll back.
-		evs := s.txn.binlogBuf
-		for i := range evs {
-			evs[i].Timestamp = ts
-		}
-		if err := e.binlog.CommitBatch(evs); err != nil {
-			return nil, fmt.Errorf("engine: binlog: %w", err)
-		}
-		s.txn.binlogBuf = nil
 		// The commit marker is the transaction's durability point:
-		// recovery replays these changes only once it is on disk.
-		if len(s.txn.undo) > 0 {
+		// recovery replays these changes only once it is on disk. It
+		// must reach the WAL *before* the binlog flush — the historical
+		// reverse order meant a crash between the two left binlog'd
+		// statements the WAL would never replay, silently diverging the
+		// replication stream from the recovered data. (The binlog append
+		// is the crash-torture kill point covering this window.) On a
+		// WAL sink failure the transaction stays open: nothing is
+		// durable, and the client may retry or roll back.
+		s.txn.mu.Lock()
+		undo := s.txn.undo
+		evs := s.txn.binlogBuf
+		s.txn.binlogBuf = nil
+		view := s.txn.view
+		s.txn.mu.Unlock()
+		if len(undo) > 0 {
 			if err := e.wal.LogCommit(s.txn.walTxn); err != nil {
 				return nil, fmt.Errorf("engine: wal commit: %w", err)
 			}
 		}
+		// Flush buffered statement events with the commit timestamp as
+		// one contiguous group-committed batch, as MySQL writes the
+		// binlog cache at commit. The transaction is already durably
+		// committed here, so a binlog failure is reported but cannot
+		// reopen it — recovered data may carry statements the binlog
+		// lacks, never the reverse.
+		for i := range evs {
+			evs[i].Timestamp = ts
+		}
+		binlogErr := e.binlog.CommitBatch(evs)
+		e.commitVersions(s.txn.walTxn)
+		if view != nil {
+			e.versions.release(view)
+		}
+		e.mu.Lock()
+		delete(e.activeTxns, s.ID)
+		e.mu.Unlock()
 		s.txn = nil
 		e.openTxns.Add(-1)
+		if binlogErr != nil {
+			return nil, fmt.Errorf("engine: binlog: %w", binlogErr)
+		}
 		return &Result{}, nil
 	case sqlparse.TxnRollback:
 		if s.txn == nil {
@@ -108,18 +151,36 @@ func (e *Engine) execTxnControl(s *Session, st *sqlparse.TxnControl, ts int64) (
 		txn := s.txn
 		s.txn = nil // compensations below run in autocommit mode
 		e.openTxns.Add(-1)
-		if err := e.applyUndo(txn.walTxn, txn.undo); err != nil {
+		e.mu.Lock()
+		delete(e.activeTxns, s.ID)
+		e.mu.Unlock()
+		txn.mu.Lock()
+		undo := txn.undo
+		view := txn.view
+		txn.mu.Unlock()
+		if view != nil {
+			e.versions.release(view)
+		}
+		if err := e.applyUndo(txn.walTxn, undo); err != nil {
 			return nil, fmt.Errorf("engine: rollback: %w", err)
 		}
 		// The abort marker records that the rollback ran to completion;
 		// after a crash, recovery sees it and leaves the compensated
 		// state alone instead of undoing a second time.
-		if len(txn.undo) > 0 {
+		if len(undo) > 0 {
 			if err := e.wal.LogAbort(txn.walTxn); err != nil {
 				return nil, fmt.Errorf("engine: wal abort: %w", err)
 			}
 		}
-		return &Result{RowsAffected: len(txn.undo)}, nil
+		// Resolving the rolled-back transaction in the version store
+		// makes the compensated (= pre-transaction) state the visible
+		// latest; the intermediate versions stay invisible to every
+		// view, and purge can reclaim the chains.
+		e.commitVersions(txn.walTxn)
+		// MySQL reports 0 rows affected for ROLLBACK; the undo-record
+		// count the engine used to report here double-counted
+		// multi-column updates (one undo record per column).
+		return &Result{}, nil
 	default:
 		return nil, fmt.Errorf("engine: unknown transaction op")
 	}
@@ -136,76 +197,93 @@ func (e *Engine) applyUndo(txn uint64, undo []wal.Record) error {
 		if !ok {
 			return fmt.Errorf("undo references unknown table %d", rec.Table)
 		}
-		switch rec.Op {
-		case wal.OpInsert:
-			// Undo an insert: delete the key (fetching the row first so
-			// secondary indexes can be unkeyed).
-			if len(rec.Image) < 1 {
-				return fmt.Errorf("corrupt insert-undo image")
-			}
-			key := rec.Image[0]
-			row, found, err := t.Tree.Search(key)
-			if err != nil {
-				return err
-			}
-			if found {
-				if _, err := t.Tree.Delete(key); err != nil {
-					return err
-				}
-				if err := indexDeleteRow(t, row); err != nil {
-					return err
-				}
-				t.rows.Add(-1)
-				if _, _, err := e.wal.TxDelete(txn, t.ID, storage.Record{key}); err != nil {
-					return fmt.Errorf("logging compensation: %w", err)
-				}
-			}
-		case wal.OpUpdate:
-			// Undo an update: restore the old column value.
-			if len(rec.Image) < 2 {
-				return fmt.Errorf("corrupt update-undo image")
-			}
-			key, oldVal := rec.Image[0], rec.Image[1]
-			cur, found, err := t.Tree.Search(key)
-			if err != nil {
-				return err
-			}
-			if !found {
-				return fmt.Errorf("undo target row %s missing", key)
-			}
-			col := int(rec.Column)
-			if col < 0 || col >= len(cur) {
-				return fmt.Errorf("undo column %d out of range", col)
-			}
-			restored := cur.Clone()
-			if _, _, err := e.wal.TxUpdate(txn, t.ID, storage.Record{key}, rec.Column,
-				storage.Record{cur[col]}, storage.Record{oldVal}); err != nil {
-				return fmt.Errorf("logging compensation: %w", err)
-			}
-			if err := indexUpdateColumn(t, key, col, cur[col], oldVal); err != nil {
-				return err
-			}
-			restored[col] = oldVal
-			if _, err := t.Tree.Update(key, restored); err != nil {
-				return err
-			}
-		case wal.OpDelete:
-			// Undo a delete: reinsert the full old row.
-			if err := t.Tree.Insert(rec.Image.Clone()); err != nil {
-				return err
-			}
-			if err := indexInsertRow(t, rec.Image); err != nil {
-				return err
-			}
-			t.rows.Add(1)
-			t.statsNoteInsert(rec.Image)
-			if _, _, err := e.wal.TxInsert(txn, t.ID, rec.Image); err != nil {
-				return fmt.Errorf("logging compensation: %w", err)
-			}
-		default:
-			return fmt.Errorf("unknown undo op %v", rec.Op)
+		if err := e.undoRecord(t, txn, rec); err != nil {
+			return err
 		}
 		e.qcache.InvalidateTable(t.Name)
+	}
+	return nil
+}
+
+// undoRecord reverses one undo record under the table's write latch
+// (MVCC readers take no stripes, so the latch is what keeps them from
+// observing a half-reversed row). Each compensation also files its
+// pre-image: the rolled-back values join the version chains, where —
+// as §3 predicts for aborted activity — they remain recoverable.
+func (e *Engine) undoRecord(t *Table, txn uint64, rec wal.Record) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	switch rec.Op {
+	case wal.OpInsert:
+		// Undo an insert: delete the key (fetching the row first so
+		// secondary indexes can be unkeyed).
+		if len(rec.Image) < 1 {
+			return fmt.Errorf("corrupt insert-undo image")
+		}
+		key := rec.Image[0]
+		row, found, err := t.Tree.Search(key)
+		if err != nil {
+			return err
+		}
+		if found {
+			e.noteVersion(t, key, row, true, txn)
+			if _, err := t.Tree.Delete(key); err != nil {
+				return err
+			}
+			if err := indexDeleteRow(t, row); err != nil {
+				return err
+			}
+			t.rows.Add(-1)
+			if _, _, err := e.wal.TxDelete(txn, t.ID, storage.Record{key}); err != nil {
+				return fmt.Errorf("logging compensation: %w", err)
+			}
+		}
+	case wal.OpUpdate:
+		// Undo an update: restore the old column value.
+		if len(rec.Image) < 2 {
+			return fmt.Errorf("corrupt update-undo image")
+		}
+		key, oldVal := rec.Image[0], rec.Image[1]
+		cur, found, err := t.Tree.Search(key)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("undo target row %s missing", key)
+		}
+		col := int(rec.Column)
+		if col < 0 || col >= len(cur) {
+			return fmt.Errorf("undo column %d out of range", col)
+		}
+		e.noteVersion(t, key, cur, false, txn)
+		restored := cur.Clone()
+		if _, _, err := e.wal.TxUpdate(txn, t.ID, storage.Record{key}, rec.Column,
+			storage.Record{cur[col]}, storage.Record{oldVal}); err != nil {
+			return fmt.Errorf("logging compensation: %w", err)
+		}
+		if err := indexUpdateColumn(t, key, col, cur[col], oldVal); err != nil {
+			return err
+		}
+		restored[col] = oldVal
+		if _, err := t.Tree.Update(key, restored); err != nil {
+			return err
+		}
+	case wal.OpDelete:
+		// Undo a delete: reinsert the full old row.
+		e.noteVersion(t, rec.Image[0], nil, false, txn)
+		if err := t.Tree.Insert(rec.Image.Clone()); err != nil {
+			return err
+		}
+		if err := indexInsertRow(t, rec.Image); err != nil {
+			return err
+		}
+		t.rows.Add(1)
+		t.statsNoteInsert(rec.Image)
+		if _, _, err := e.wal.TxInsert(txn, t.ID, rec.Image); err != nil {
+			return fmt.Errorf("logging compensation: %w", err)
+		}
+	default:
+		return fmt.Errorf("unknown undo op %v", rec.Op)
 	}
 	return nil
 }

@@ -1,0 +1,160 @@
+package engine
+
+// Explicit-transaction edge cases: ROLLBACK's affected-row count, the
+// WAL-before-binlog commit ordering (with a crash in the gap), COMMIT
+// with buffered binlog events but no undo, rollback racing DROP TABLE,
+// and interleaved transactions across sessions.
+
+import (
+	"strings"
+	"testing"
+
+	"snapdb/internal/binlog"
+	"snapdb/internal/failpoint"
+	"snapdb/internal/vfs"
+	"snapdb/internal/wal"
+)
+
+// TestRollbackReportsZeroRowsAffected is the MySQL-compatibility
+// regression: ROLLBACK used to report len(undo), which double-counts
+// multi-column updates (one undo record per column).
+func TestRollbackReportsZeroRowsAffected(t *testing.T) {
+	e, _ := newEngine(t, Defaults())
+	s := e.Connect("app")
+	mustExec(t, s, "CREATE TABLE t (id INT PRIMARY KEY, a INT, b INT)")
+	mustExec(t, s, "INSERT INTO t (id, a, b) VALUES (1, 1, 1)")
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "UPDATE t SET a = 2, b = 2 WHERE id = 1") // 2 undo records
+	mustExec(t, s, "INSERT INTO t (id, a, b) VALUES (2, 0, 0)")
+	res := mustExec(t, s, "ROLLBACK")
+	if res.RowsAffected != 0 {
+		t.Errorf("ROLLBACK RowsAffected = %d, want 0", res.RowsAffected)
+	}
+}
+
+// TestCommitCrashBetweenWALAndBinlog arms a crash on the binlog append
+// inside COMMIT — the exact gap the commit reordering closed. The WAL
+// commit marker lands first, so the recovered data must contain the
+// transaction while the binlog lacks its statements: recovered data
+// may carry statements the binlog lacks, never the reverse.
+func TestCommitCrashBetweenWALAndBinlog(t *testing.T) {
+	stmts := []string{
+		"CREATE TABLE t (id INT PRIMARY KEY, v TEXT)", // binlog write 1
+		"BEGIN",
+		"INSERT INTO t (id, v) VALUES (1, 'a')",
+		"INSERT INTO t (id, v) VALUES (2, 'b')",
+		"COMMIT", // WAL commit, then binlog writes 2..3 — crash on 2
+	}
+	mem := vfs.NewMemFS()
+	reg := failpoint.New(1)
+	reg.Arm("write:"+FileBinlog, failpoint.KindCrash, 2)
+	acked := runUntilError(vfs.NewFaultFS(mem, reg), stmts)
+	if !reg.Crashed() {
+		t.Fatalf("kill point never fired (acked %d statements)", acked)
+	}
+	if acked != 4 { // COMMIT itself must be the statement that dies
+		t.Fatalf("acked %d statements, want 4", acked)
+	}
+	mem.Crash()
+
+	r, _, err := Recover(mem, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Connect("app")
+	res := mustExec(t, s, "SELECT v FROM t")
+	if len(res.Rows) != 2 {
+		t.Errorf("recovered rows = %v, want the committed transaction (WAL commit preceded the crash)", res.Rows)
+	}
+	for _, ev := range r.Binlog().Events() {
+		if strings.Contains(ev.Statement, "INSERT") {
+			t.Errorf("binlog carries a statement from the torn commit: %q", ev.Statement)
+		}
+	}
+}
+
+// TestCommitEmptyUndoFlushesBufferedBinlog pins the COMMIT branch
+// where no undo exists (so no WAL commit marker is written) but
+// binlog events are buffered: they must still flush, with the commit
+// timestamp.
+func TestCommitEmptyUndoFlushesBufferedBinlog(t *testing.T) {
+	e, now := newEngine(t, Defaults())
+	s := e.Connect("app")
+	mustExec(t, s, "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+	walBefore := len(e.WAL().Redo.Records())
+	binlogBefore := e.Binlog().Len()
+
+	mustExec(t, s, "BEGIN")
+	// No DML ran, but an event sits in the transaction's binlog cache
+	// (statement classes that binlog without undo records).
+	s.txn.binlogBuf = append(s.txn.binlogBuf, binlog.Event{Statement: "SYNTHETIC"})
+	*now = 2_000_000
+	mustExec(t, s, "COMMIT")
+
+	evs := e.Binlog().Events()
+	if len(evs) != binlogBefore+1 {
+		t.Fatalf("binlog events = %d, want %d", len(evs), binlogBefore+1)
+	}
+	last := evs[len(evs)-1]
+	if last.Statement != "SYNTHETIC" || last.Timestamp != 2_000_000 {
+		t.Errorf("flushed event = %+v", last)
+	}
+	// An undo-less transaction writes no commit marker.
+	for _, rec := range e.WAL().Redo.Records()[walBefore:] {
+		if rec.Op == wal.OpCommit {
+			t.Errorf("empty transaction wrote a WAL commit marker")
+		}
+	}
+}
+
+// TestRollbackAfterDropTable: a transaction's undo can reference a
+// table another session drops mid-flight (in-memory engines allow the
+// DDL through). The rollback must fail loudly, not resurrect rows
+// into a vanished catalog entry.
+func TestRollbackAfterDropTable(t *testing.T) {
+	e, _ := newEngine(t, Defaults())
+	a := e.Connect("txn")
+	b := e.Connect("ddl")
+	mustExec(t, a, "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+	mustExec(t, a, "INSERT INTO t (id, v) VALUES (1, 'x')")
+	mustExec(t, a, "BEGIN")
+	mustExec(t, a, "UPDATE t SET v = 'y' WHERE id = 1")
+	mustExec(t, b, "DROP TABLE t")
+	_, err := a.Execute("ROLLBACK")
+	if err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Errorf("ROLLBACK after DROP: err = %v, want unknown-table failure", err)
+	}
+	// The transaction is closed either way; the session keeps working.
+	if a.InTransaction() {
+		t.Error("session stuck in transaction after failed rollback")
+	}
+	mustExec(t, a, "CREATE TABLE u (id INT PRIMARY KEY)")
+}
+
+// TestTxnInterleavedAcrossSessions: two transactions on the same
+// table, one committing and one rolling back, interleaved — each
+// resolves independently.
+func TestTxnInterleavedAcrossSessions(t *testing.T) {
+	e, _ := newEngine(t, Defaults())
+	a := e.Connect("a")
+	b := e.Connect("b")
+	mustExec(t, a, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	mustExec(t, a, "INSERT INTO t (id, v) VALUES (1, 10)")
+	mustExec(t, a, "INSERT INTO t (id, v) VALUES (2, 20)")
+
+	mustExec(t, a, "BEGIN")
+	mustExec(t, b, "BEGIN")
+	mustExec(t, a, "UPDATE t SET v = 11 WHERE id = 1")
+	mustExec(t, b, "UPDATE t SET v = 22 WHERE id = 2")
+	mustExec(t, a, "ROLLBACK")
+	mustExec(t, b, "COMMIT")
+
+	res := mustExec(t, a, "SELECT v FROM t WHERE id = 1")
+	if res.Rows[0][0].Int != 10 {
+		t.Errorf("rolled-back row = %v, want 10", res.Rows)
+	}
+	res = mustExec(t, a, "SELECT v FROM t WHERE id = 2")
+	if res.Rows[0][0].Int != 22 {
+		t.Errorf("committed row = %v, want 22", res.Rows)
+	}
+}

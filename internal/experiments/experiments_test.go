@@ -294,7 +294,7 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 15 {
+	if len(results) != 16 {
 		t.Fatalf("got %d experiments", len(results))
 	}
 	seen := map[string]bool{}
@@ -348,6 +348,35 @@ func TestE15ParallelTrace(t *testing.T) {
 			res.ParallelFetches, res.SerialFetches)
 	}
 	if !strings.Contains(res.Render(), "E15") {
+		t.Error("render missing experiment id")
+	}
+}
+
+func TestE16VersionResidue(t *testing.T) {
+	res, err := E16VersionResidue(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arms) != 3 {
+		t.Fatalf("arms = %d", len(res.Arms))
+	}
+	retain, aggr := res.Arms[0], res.Arms[2]
+	if retain.SecretsSurvived != res.Secrets {
+		t.Errorf("retain arm recovered %d of %d secrets", retain.SecretsSurvived, res.Secrets)
+	}
+	if retain.DeletedSurvived != res.Deleted {
+		t.Errorf("retain arm recovered %d of %d deleted rows", retain.DeletedSurvived, res.Deleted)
+	}
+	if retain.WALHasSecret || !retain.WALHadSecret {
+		t.Errorf("WAL contrast broken: pre=%v post=%v", retain.WALHadSecret, retain.WALHasSecret)
+	}
+	if aggr.SurvivedVersions != 0 {
+		t.Errorf("aggressive sweep left %d versions", aggr.SurvivedVersions)
+	}
+	if aggr.PurgedVersions == 0 {
+		t.Error("aggressive arm reclaimed nothing")
+	}
+	if !strings.Contains(res.Render(), "E16") {
 		t.Error("render missing experiment id")
 	}
 }

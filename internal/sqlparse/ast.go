@@ -331,6 +331,35 @@ func (a *AnalyzeTable) SQL() string {
 	return "ANALYZE TABLE " + a.Table
 }
 
+// DropTable is DROP TABLE <name>.
+type DropTable struct {
+	Table string
+}
+
+func (*DropTable) stmt() {}
+
+// SQL renders the statement.
+func (d *DropTable) SQL() string {
+	return "DROP TABLE " + d.Table
+}
+
+// SetTxn is SET TRANSACTION READ ONLY | READ WRITE. It configures the
+// access mode of the session's next transaction (the statement-scoped
+// MySQL form).
+type SetTxn struct {
+	ReadOnly bool
+}
+
+func (*SetTxn) stmt() {}
+
+// SQL renders the statement.
+func (s *SetTxn) SQL() string {
+	if s.ReadOnly {
+		return "SET TRANSACTION READ ONLY"
+	}
+	return "SET TRANSACTION READ WRITE"
+}
+
 // TxnOp is a transaction-control statement kind.
 type TxnOp int
 

@@ -62,6 +62,8 @@ var keywords = map[string]bool{
 	"NOT": true, "NULL": true, "ASC": true, "DESC": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true,
 	"INDEX": true, "ON": true, "EXPLAIN": true, "ANALYZE": true,
+	"DROP": true, "TRANSACTION": true, "READ": true, "ONLY": true,
+	"WRITE": true,
 }
 
 // Lexer splits SQL text into tokens.

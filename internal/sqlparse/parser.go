@@ -95,6 +95,10 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseDelete()
 	case "CREATE":
 		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "SET":
+		return p.parseSetTxn()
 	case "BEGIN":
 		p.next()
 		return &TxnControl{Op: TxnBegin}, nil
@@ -130,6 +134,39 @@ func (p *Parser) parseExplain() (Statement, error) {
 		return nil, err
 	}
 	return &Explain{Stmt: inner, Analyze: analyze}, nil
+}
+
+// parseDrop parses DROP TABLE <name>.
+func (p *Parser) parseDrop() (Statement, error) {
+	p.next() // DROP
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTable{Table: name}, nil
+}
+
+// parseSetTxn parses SET TRANSACTION READ ONLY | READ WRITE (the
+// statement-scoped MySQL form: it applies to the next BEGIN).
+func (p *Parser) parseSetTxn() (Statement, error) {
+	p.next() // SET
+	if err := p.expectKeyword("TRANSACTION"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("READ"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.Kind == TokKeyword && t.Text == "ONLY" {
+		return &SetTxn{ReadOnly: true}, nil
+	}
+	if t.Kind == TokKeyword && t.Text == "WRITE" {
+		return &SetTxn{}, nil
+	}
+	return nil, fmt.Errorf("sqlparse: expected ONLY or WRITE at offset %d, got %q", t.Pos, t.Text)
 }
 
 // parseAnalyze parses ANALYZE TABLE <name>.

@@ -26,6 +26,27 @@ type DriverConfig struct {
 	Statements   int   // total statements across all goroutines
 	WriteEvery   int   // every Nth statement is an UPDATE; 0 disables writes
 	Seed         int64 // per-goroutine streams derive from this
+
+	// Mixed explicit-transaction mode: the first WriterSessions
+	// goroutines become transactional writers running
+	// BEGIN / TxnSize UPDATEs / COMMIT batches (every
+	// TxnRollbackEvery-th batch ends in ROLLBACK instead), while the
+	// remaining goroutines run pure point SELECTs regardless of
+	// WriteEvery. This is the readers-vs-writer shape E16 and
+	// BenchmarkMVCCReadersVsWriter measure: under MVCC the readers
+	// sail past the writers' open transactions; under stripe locking
+	// they queue behind them.
+	WriterSessions   int // goroutines running explicit-txn write batches
+	TxnSize          int // DML statements per transaction (default 4)
+	TxnRollbackEvery int // every Nth batch rolls back; 0 = always commit
+
+	// WriterScanEvery, when positive, makes every Nth writer DML a
+	// maintenance-style UPDATE whose predicate filters on the
+	// unindexed value column, forcing a full table scan under the
+	// exclusive stripe. Point readers never pay the scan, so this
+	// widens the writer's lock hold relative to a read — the
+	// contention shape where snapshot reads matter most.
+	WriterScanEvery int
 }
 
 func (c DriverConfig) normalized() DriverConfig {
@@ -37,6 +58,12 @@ func (c DriverConfig) normalized() DriverConfig {
 	}
 	if c.RowsPerTable <= 0 {
 		c.RowsPerTable = 100
+	}
+	if c.WriterSessions > c.Goroutines {
+		c.WriterSessions = c.Goroutines
+	}
+	if c.TxnSize <= 0 {
+		c.TxnSize = 4
 	}
 	return c
 }
@@ -53,6 +80,14 @@ type DriverResult struct {
 	RowsReturned int64
 	Duration     time.Duration
 	PerSecond    float64
+
+	// Mixed-mode reader-side clock: how long until the LAST pure-reader
+	// goroutine drained its quota, while the transactional writers were
+	// still streaming. This is the number the MVCC benchmark compares —
+	// reader progress under write pressure — which the all-goroutines
+	// Duration understates (it includes the writers' own tail).
+	ReaderDuration  time.Duration
+	ReaderPerSecond float64
 }
 
 // DriverTableName names the driver's i-th table.
@@ -162,6 +197,7 @@ func RunDriver(e *engine.Engine, cfg DriverConfig) (*DriverResult, error) {
 	writes := make([]int, cfg.Goroutines)
 	examined := make([]int64, cfg.Goroutines)
 	returned := make([]int64, cfg.Goroutines)
+	readerDone := make([]time.Duration, cfg.Goroutines)
 	start := time.Now()
 	for g := 0; g < cfg.Goroutines; g++ {
 		wg.Add(1)
@@ -169,7 +205,20 @@ func RunDriver(e *engine.Engine, cfg DriverConfig) (*DriverResult, error) {
 			defer wg.Done()
 			s := e.Connect(fmt.Sprintf("driver%d", g))
 			defer s.Close()
-			gen := newStmtGen(cfg, g)
+			if g < cfg.WriterSessions {
+				if err := runTxnWriter(s, cfg, g, perG, &writes[g], &examined[g]); err != nil {
+					errs <- fmt.Errorf("workload: driver goroutine %d: %w", g, err)
+				}
+				return
+			}
+			defer func() { readerDone[g] = time.Since(start) }()
+			gcfg := cfg
+			if cfg.WriterSessions > 0 {
+				// In mixed mode the non-writer goroutines read only;
+				// all write pressure comes from the txn writers.
+				gcfg.WriteEvery = 0
+			}
+			gen := newStmtGen(gcfg, g)
 			for i := 0; i < perG; i++ {
 				q, write := gen.next(i)
 				if write {
@@ -204,7 +253,62 @@ func RunDriver(e *engine.Engine, cfg DriverConfig) (*DriverResult, error) {
 	if secs := res.Duration.Seconds(); secs > 0 {
 		res.PerSecond = float64(res.Statements) / secs
 	}
+	for _, d := range readerDone {
+		if d > res.ReaderDuration {
+			res.ReaderDuration = d
+		}
+	}
+	if secs := res.ReaderDuration.Seconds(); secs > 0 {
+		res.ReaderPerSecond = float64(res.Reads) / secs
+	}
 	return res, nil
+}
+
+// runTxnWriter is one transactional writer session: quota DML
+// statements grouped into BEGIN / TxnSize UPDATEs / COMMIT batches
+// (every TxnRollbackEvery-th batch rolls back). The statement stream
+// forces WriteEvery=1 so every generated statement is an UPDATE; the
+// control statements (BEGIN/COMMIT/ROLLBACK) don't count toward the
+// quota.
+func runTxnWriter(s *engine.Session, cfg DriverConfig, g, quota int, writes *int, examined *int64) error {
+	wcfg := cfg
+	wcfg.WriteEvery = 1
+	gen := newStmtGen(wcfg, g)
+	batch := 0
+	for i := 0; i < quota; {
+		if _, err := s.Execute("BEGIN"); err != nil {
+			return fmt.Errorf("BEGIN: %w", err)
+		}
+		for j := 0; j < cfg.TxnSize && i < quota; j++ {
+			var q string
+			if cfg.WriterScanEvery > 0 && (i+1)%cfg.WriterScanEvery == 0 {
+				// Full-scan UPDATE: the predicate is on the unindexed
+				// value column (and never matches the seeded or
+				// updated value shapes), so the statement examines
+				// the whole table while holding the write lock.
+				q = fmt.Sprintf("UPDATE %s SET v = 'swept' WHERE v = 'needle-%d-%d'",
+					DriverTableName(i%cfg.Tables), g, i)
+			} else {
+				q, _ = gen.next(i)
+			}
+			i++
+			*writes++
+			res, err := s.Execute(q)
+			if err != nil {
+				return fmt.Errorf("%s: %w", q, err)
+			}
+			*examined += int64(res.RowsExamined)
+		}
+		batch++
+		end := "COMMIT"
+		if cfg.TxnRollbackEvery > 0 && batch%cfg.TxnRollbackEvery == 0 {
+			end = "ROLLBACK"
+		}
+		if _, err := s.Execute(end); err != nil {
+			return fmt.Errorf("%s: %w", end, err)
+		}
+	}
+	return nil
 }
 
 // RemoteDriverConfig configures a driver run against a snapdb server

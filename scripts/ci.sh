@@ -40,7 +40,7 @@ echo "== bench smoke =="
 # benchmark that no longer compiles or errors at runtime (timing is
 # meaningless at -benchtime 1x; scripts/benchdiff.sh does the timing
 # comparison against the committed baseline).
-go test -run '^$' -bench 'PlanCache|BatchedThroughput|SortedRead|ParallelScan|CostedPlanning' -benchtime 1x .
+go test -run '^$' -bench 'PlanCache|BatchedThroughput|SortedRead|ParallelScan|CostedPlanning|MVCCReadersVsWriter' -benchtime 1x .
 go test -run '^$' -bench 'TopN' -benchtime 1x ./internal/engine/exec
 
 echo "== fuzz smoke =="
@@ -60,6 +60,13 @@ fuzz ./internal/client FuzzDecodeValue
 echo "== crash torture seed matrix (-race) =="
 SNAPDB_TORTURE_SEEDS="${SNAPDB_TORTURE_SEEDS:-1,7,42}" \
     go test -race ./internal/engine -run 'TestCrashTorture' -count=1 -v | grep -E 'kill-points|--- (PASS|FAIL)'
+
+echo "== MVCC differential (-race) =="
+# Snapshot reads vs stripe locking must be byte-identical on
+# conflict-free workloads — results, binlog, general log — while the
+# race detector watches the version store, read views, and inline
+# purge running under real session concurrency.
+go test -race ./internal/engine -run 'TestDifferentialMVCCVsLocking|TestMVCC' -count=1
 
 echo "== network torture seed matrix (-race) =="
 # The wire-level counterpart: seeded resets, partial writes, latency
