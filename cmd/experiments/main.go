@@ -5,7 +5,7 @@
 //
 //	experiments [-quick] [-run E5]
 //
-// Without -run it executes the full suite E1..E16 plus the ablations.
+// Without -run it executes the full suite E1..E17 plus the ablations.
 // -quick shrinks workloads (fewer trials, smaller corpora) so the whole
 // suite finishes in well under a minute.
 package main
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced workloads (fewer trials, smaller corpora)")
-	run := flag.String("run", "", "run a single experiment by id (E1..E16, E5-ablation)")
+	run := flag.String("run", "", "run a single experiment by id (E1..E17, E5-ablation)")
 	flag.Parse()
 
 	if err := realMain(*quick, *run); err != nil {
@@ -53,6 +53,7 @@ func realMain(quick bool, run string) error {
 		{"E14", func(q bool) (experiments.Result, error) { return experiments.E14RetryResidue(q) }},
 		{"E15", func(q bool) (experiments.Result, error) { return experiments.E15ParallelTrace(q) }},
 		{"E16", func(q bool) (experiments.Result, error) { return experiments.E16VersionResidue(q) }},
+		{"E17", func(q bool) (experiments.Result, error) { return experiments.E17SnapshotDiff(q) }},
 	}
 	matched := false
 	for _, r := range runners {
@@ -67,7 +68,7 @@ func realMain(quick bool, run string) error {
 		fmt.Println(res.Render())
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q (want E1..E14 or E5-ablation)", run)
+		return fmt.Errorf("unknown experiment %q (want E1..E17 or E5-ablation)", run)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@
 //
 //	snapdbd [-addr 127.0.0.1:7001] [-harden] [-idle-timeout 5m] [-datadir DIR]
 //	        [-stmt-timeout 0] [-max-concurrent 0] [-drain-timeout 10s] [-scan-workers 0]
+//	        [-encrypt [-fresh-iv]]
 //
 // Clients speak the line protocol of internal/server; the simplest
 // client is:
@@ -27,6 +28,12 @@
 // over whatever a previous process left there. Without it the engine
 // is memory-only, as before.
 //
+// -encrypt encrypts the datadir at rest with the 32-byte key in
+// SNAPDB_ENCRYPTION_KEY (64 hex chars), deterministic per-page tweaks
+// by default; -fresh-iv re-randomizes every page write instead, which
+// closes the snapshot page-diff channel E17 demonstrates at the cost
+// of write amplification and an IV sidecar per file.
+//
 // SNAPDB_FAILPOINTS injects deterministic faults into the durable
 // file layer, for crash testing a live server. The format is
 // "point=kind[@hit],..." — for example
@@ -45,6 +52,7 @@ package main
 
 import (
 	"context"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
@@ -55,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"snapdb/internal/crypto/prim"
 	"snapdb/internal/engine"
 	"snapdb/internal/failpoint"
 	"snapdb/internal/mitigate"
@@ -77,6 +86,10 @@ func main() {
 		"how long a SIGTERM/SIGINT drain waits for in-flight work before closing hard")
 	scanWorkers := flag.Int("scan-workers", 0,
 		"split large clustered scans across this many worker goroutines with an ordered merge (0 or 1 = serial)")
+	encrypt := flag.Bool("encrypt", false,
+		"encrypt the datadir at rest (key from SNAPDB_ENCRYPTION_KEY, 64 hex chars; requires -datadir)")
+	freshIV := flag.Bool("fresh-iv", false,
+		"with -encrypt, re-randomize every page write instead of deterministic per-page tweaks (mitigates snapshot page-diffing; see E17)")
 	flag.Parse()
 
 	cfg := engine.Defaults()
@@ -85,6 +98,20 @@ func main() {
 	}
 	cfg.StatementTimeout = *stmtTimeout
 	cfg.MaxScanWorkers = *scanWorkers
+	if *encrypt {
+		if *datadir == "" {
+			log.Fatal("snapdbd: -encrypt requires -datadir")
+		}
+		key, err := encryptionKeyFromEnv()
+		if err != nil {
+			log.Fatalf("snapdbd: %v", err)
+		}
+		cfg.EncryptAtRest = true
+		cfg.EncryptionKey = key
+		cfg.DeterministicPages = !*freshIV
+	} else if *freshIV {
+		log.Fatal("snapdbd: -fresh-iv requires -encrypt")
+	}
 	e, err := openEngine(cfg, *datadir)
 	if err != nil {
 		log.Fatalf("snapdbd: %v", err)
@@ -134,6 +161,27 @@ func main() {
 		fmt.Println("snapdbd: drained cleanly")
 	default: // Serve ended without a signal (Close elsewhere)
 	}
+}
+
+// encryptionKeyFromEnv parses SNAPDB_ENCRYPTION_KEY (64 hex chars =
+// 32 bytes). An env var keeps the key out of the process argv, which
+// any co-tenant can read — though as DESIGN.md notes, at-rest
+// encryption never defends against a live co-resident attacker anyway.
+func encryptionKeyFromEnv() (prim.Key, error) {
+	var key prim.Key
+	s := os.Getenv("SNAPDB_ENCRYPTION_KEY")
+	if s == "" {
+		return key, fmt.Errorf("-encrypt set but SNAPDB_ENCRYPTION_KEY is empty")
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return key, fmt.Errorf("SNAPDB_ENCRYPTION_KEY: %w", err)
+	}
+	if len(raw) != len(key) {
+		return key, fmt.Errorf("SNAPDB_ENCRYPTION_KEY: got %d bytes, want %d", len(raw), len(key))
+	}
+	copy(key[:], raw)
+	return key, nil
 }
 
 // wrapNetFaults arms SNAPDB_NETFAULTS against ln, if set.

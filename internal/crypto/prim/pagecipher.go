@@ -1,0 +1,99 @@
+package prim
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// PageCipher is the tweaked, length-preserving page encryption beneath
+// vfs.CryptFS: each fixed-size page of a file is XORed with an AES-CTR
+// keystream whose IV (the "tweak") binds the file name and page number,
+// the construction the SQLite adiantum/xts VFSes use at the same seam.
+//
+// Because ciphertext byte i depends only on plaintext byte i, the
+// cipher commutes with everything the crash-consistency machinery
+// cares about: torn writes tear the same byte ranges, a flipped
+// ciphertext bit flips exactly one plaintext bit (surfacing as a CRC
+// frame failure downstream, never as silently different data), and
+// file sizes, offsets and EOF behavior are identical to the plaintext
+// file. The price of determinism is the leakage E17 demonstrates: with
+// a fixed tweak, equal plaintext pages at equal positions produce
+// equal ciphertext across snapshots, and rewriting a page in place
+// XOR-relates the two ciphertexts. The fresh-IV mode (a caller-stored
+// random tweak per page write) trades the in-place properties away to
+// close the equality channel.
+type PageCipher struct {
+	block cipher.Block // AES-256 under the derived "page" key
+	twKey Key          // PRF key for deterministic tweak derivation
+}
+
+// TweakSize is the size in bytes of a page tweak (the AES-CTR IV).
+const TweakSize = aes.BlockSize
+
+// NewPageCipher derives the page-encryption subkeys from k.
+func NewPageCipher(k Key) (*PageCipher, error) {
+	encKey := Derive(k, "page-enc")
+	block, err := aes.NewCipher(encKey[:])
+	if err != nil {
+		return nil, fmt.Errorf("prim: page cipher init: %w", err)
+	}
+	return &PageCipher{block: block, twKey: Derive(k, "page-tweak")}, nil
+}
+
+// Tweak derives the deterministic tweak for page number page of the
+// file named name: PRF(twKey, name || page). Binding the name keeps
+// equal pages of different files unrelated; binding the page number is
+// what makes the scheme XTS-style rather than a single reused stream.
+func (c *PageCipher) Tweak(name string, page uint64) [TweakSize]byte {
+	msg := make([]byte, 0, len(name)+8)
+	msg = append(msg, name...)
+	msg = binary.BigEndian.AppendUint64(msg, page)
+	full := PRF(c.twKey, msg)
+	var tw [TweakSize]byte
+	copy(tw[:], full[:TweakSize])
+	return tw
+}
+
+// XORKeyStreamAt XORs data in place with the keystream of the page
+// whose tweak is tw, starting at byte offset off within the page.
+// Encryption and decryption are the same operation. off+len(data) may
+// not exceed the page size the caller segments by; the keystream is
+// defined for any offset, so the caller's page size is not a parameter
+// here.
+func (c *PageCipher) XORKeyStreamAt(tw [TweakSize]byte, off int, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	// CTR keystream block j is AES(tw + j); seek to block off/16 by
+	// adding to the big-endian counter, then discard the intra-block
+	// prefix.
+	var ctr [aes.BlockSize]byte
+	copy(ctr[:], tw[:])
+	addCounter(&ctr, uint64(off/aes.BlockSize))
+	skip := off % aes.BlockSize
+	var ks [aes.BlockSize]byte
+	for len(data) > 0 {
+		c.block.Encrypt(ks[:], ctr[:])
+		n := aes.BlockSize - skip
+		if n > len(data) {
+			n = len(data)
+		}
+		for i := 0; i < n; i++ {
+			data[i] ^= ks[skip+i]
+		}
+		data = data[n:]
+		skip = 0
+		addCounter(&ctr, 1)
+	}
+}
+
+// addCounter adds n to the big-endian 128-bit counter in place.
+func addCounter(ctr *[aes.BlockSize]byte, n uint64) {
+	for i := aes.BlockSize - 1; i >= 0 && n > 0; i-- {
+		n += uint64(ctr[i])
+		ctr[i] = byte(n)
+		n >>= 8
+	}
+}

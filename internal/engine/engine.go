@@ -34,6 +34,7 @@ import (
 	"snapdb/internal/binlog"
 	"snapdb/internal/btree"
 	"snapdb/internal/bufpool"
+	"snapdb/internal/crypto/prim"
 	"snapdb/internal/dblog"
 	"snapdb/internal/engine/exec"
 	"snapdb/internal/heap"
@@ -147,6 +148,20 @@ type Config struct {
 	// experiments and most tests use it. Use Recover to reopen an
 	// existing data directory; New on a non-empty FS starts fresh.
 	FS vfs.FS
+
+	// EncryptAtRest wraps FS in a vfs.CryptFS keyed by EncryptionKey, so
+	// every persisted byte — WAL, binlog, checkpoint, buffer-pool dump —
+	// is page-encrypted before it reaches the disk. DeterministicPages
+	// selects the XTS-style mode (same plaintext page at the same
+	// position encrypts identically — the industry default, and the
+	// page-diff channel E17 demonstrates); false selects the fresh-IV
+	// mitigation, which re-randomizes every page write at the cost of
+	// read-modify-write amplification, an IV sidecar file, and a torn-
+	// write window on page rewrites (see DESIGN.md). Defaults() sets
+	// DeterministicPages; encryption itself is off unless requested.
+	EncryptAtRest      bool
+	EncryptionKey      prim.Key
+	DeterministicPages bool
 }
 
 // Defaults returns the production-like default configuration the paper
@@ -162,7 +177,25 @@ func Defaults() Config {
 		PlanCacheEntries:  DefaultPlanCacheEntries,
 		HistoryPerThread:  perfschema.DefaultHistoryPerThread,
 		SlowThreshold:     dblog.DefaultSlowThreshold,
+		// Deterministic page encryption is what shipping encrypted
+		// engines default to; Config{} literal users who flip
+		// EncryptAtRest get fresh-IV only by leaving this false
+		// explicitly.
+		DeterministicPages: true,
 	}
+}
+
+// wrapEncryption applies the Config's at-rest encryption (if enabled)
+// to fs, returning the FS every persistence path should use.
+func wrapEncryption(fs vfs.FS, cfg Config) (vfs.FS, error) {
+	if fs == nil || !cfg.EncryptAtRest {
+		return fs, nil
+	}
+	cfs, err := vfs.NewCryptFS(fs, cfg.EncryptionKey, cfg.DeterministicPages)
+	if err != nil {
+		return nil, fmt.Errorf("engine: encryption at rest: %w", err)
+	}
+	return cfs, nil
 }
 
 func (c Config) normalized() Config {
@@ -375,7 +408,11 @@ func New(cfg Config) (*Engine, error) {
 	e.arena.SecureDelete = cfg.SecureHeapDelete
 	e.procs.Scrub = cfg.ScrubProcesslist
 	if cfg.FS != nil {
-		if err := e.attachPersist(cfg.FS, 0, 0, 0); err != nil {
+		fs, err := wrapEncryption(cfg.FS, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.attachPersist(fs, 0, 0, 0); err != nil {
 			return nil, err
 		}
 	}

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 
 	"snapdb/internal/binlog"
@@ -224,6 +226,16 @@ func (p *persistor) writeCheckpoint(meta ckptMeta, tsImage []byte) error {
 	if err != nil {
 		return fmt.Errorf("engine: checkpoint meta: %w", err)
 	}
+	// Pad the meta frame (trailing spaces — valid JSON whitespace) so
+	// the tablespace pages inside tsImage land on storage.PageSize file
+	// offsets: two frame headers plus the tablespace's u64 page count
+	// precede them. Aligned checkpoints make page-granular analysis
+	// stable — both ours (E17 diffs ciphertext checkpoint pages across
+	// snapshots and must attribute a change to the page, not to a meta
+	// length drift shifting every byte after it) and a real attacker's.
+	if over := (2*storage.FrameHeaderSize + len(metaBuf) + 8) % storage.PageSize; over != 0 {
+		metaBuf = append(metaBuf, bytes.Repeat([]byte{' '}, storage.PageSize-over)...)
+	}
 	buf := storage.AppendFrame(nil, metaBuf)
 	buf = storage.AppendFrame(buf, tsImage)
 	if err := vfs.WriteFileAtomic(p.fs, FileCheckpoint, buf); err != nil {
@@ -310,6 +322,11 @@ func (e *Engine) checkpointLocked() error {
 		}
 		meta.Tables = append(meta.Tables, ct)
 	}
+	// e.tables is a map: sort so two checkpoints of the same state are
+	// byte-identical. E17's page-diff analysis (and any external
+	// snapshot differ) depends on checkpoint bytes being a function of
+	// engine state, not of map iteration order.
+	sort.Slice(meta.Tables, func(i, j int) bool { return meta.Tables[i].ID < meta.Tables[j].ID })
 	if e.versions != nil {
 		meta.Versions = e.versions.ckptSnapshot()
 	}

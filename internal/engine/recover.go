@@ -66,6 +66,13 @@ func truncOf(truncated bool, at int, reason string) *TruncationInfo {
 // that were handled; it is returned alongside fatal errors too, with
 // whatever was learned before the failure.
 func Recover(fs vfs.FS, cfg Config) (*Engine, *RecoveryReport, error) {
+	// At-rest encryption wraps here, above everything recovery reads:
+	// the checkpoint, WAL parsing, and the reattached persistor all see
+	// plaintext, while fs below holds only ciphertext.
+	fs, err := wrapEncryption(fs, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	cfg.FS = nil // the persistor is attached manually, after truncation offsets are known
 	e, err := New(cfg)
 	if err != nil {

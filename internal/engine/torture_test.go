@@ -86,7 +86,12 @@ func refDigests(t testing.TB, stmts []string) []string {
 // (len(stmts) if none). Engine construction itself counts as statement
 // zero: if it fails, acked is 0.
 func runUntilError(fs vfs.FS, stmts []string) (acked int) {
-	cfg := Defaults()
+	return runUntilErrorCfg(fs, Defaults(), stmts)
+}
+
+// runUntilErrorCfg is runUntilError under an explicit configuration —
+// the encrypted torture runs pass EncryptAtRest here.
+func runUntilErrorCfg(fs vfs.FS, cfg Config, stmts []string) (acked int) {
 	cfg.FS = fs
 	e, err := New(cfg)
 	if err != nil {

@@ -80,6 +80,7 @@ func All(quick bool) ([]Result, error) {
 		func(q bool) (Result, error) { return E14RetryResidue(q) },
 		func(q bool) (Result, error) { return E15ParallelTrace(q) },
 		func(q bool) (Result, error) { return E16VersionResidue(q) },
+		func(q bool) (Result, error) { return E17SnapshotDiff(q) },
 	}
 	out := make([]Result, 0, len(runs))
 	for _, run := range runs {

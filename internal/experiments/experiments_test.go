@@ -294,7 +294,7 @@ func TestAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 16 {
+	if len(results) != 17 {
 		t.Fatalf("got %d experiments", len(results))
 	}
 	seen := map[string]bool{}
@@ -377,6 +377,52 @@ func TestE16VersionResidue(t *testing.T) {
 		t.Error("aggressive arm reclaimed nothing")
 	}
 	if !strings.Contains(res.Render(), "E16") {
+		t.Error("render missing experiment id")
+	}
+}
+
+func TestE17SnapshotDiff(t *testing.T) {
+	res, err := E17SnapshotDiff(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arms) != 2 {
+		t.Fatalf("arms = %d", len(res.Arms))
+	}
+	det, fresh := res.Arms[0], res.Arms[1]
+	// Deterministic page encryption leaks history to a snapshot-only
+	// adversary: the overwrite localizes to few pages, the revert is
+	// detectable by page similarity, and the idle interval is
+	// byte-identical.
+	if !det.RevertDetected || det.RevertSimilarity <= 0.95 {
+		t.Errorf("det arm: revert not detected (similarity %.4f)", det.RevertSimilarity)
+	}
+	if !det.IdleIdentical {
+		t.Error("det arm: idle checkpoint not byte-identical")
+	}
+	if det.OverwriteChanged == 0 || det.OverwriteChanged*2 > det.CkptPages {
+		t.Errorf("det arm: overwrite changed %d of %d pages", det.OverwriteChanged, det.CkptPages)
+	}
+	// Fresh IVs kill the page-diff channel outright.
+	if fresh.RevertDetected || fresh.RevertSimilarity > 0.1 {
+		t.Errorf("fresh arm: page-diff channel survived (similarity %.4f)", fresh.RevertSimilarity)
+	}
+	if fresh.IdleIdentical {
+		t.Error("fresh arm: idle checkpoint identical — pages not re-randomized")
+	}
+	// The size/timing channel is mode-independent: identical deltas,
+	// same correct growth ranking, in both arms.
+	if !det.GrowthRanked || !fresh.GrowthRanked {
+		t.Errorf("growth ranking failed: det=%v fresh=%v", det.GrowthRanked, fresh.GrowthRanked)
+	}
+	if det.OrdersDelta != fresh.OrdersDelta || det.AuditDelta != fresh.AuditDelta {
+		t.Errorf("size channel differs across modes: %d/%d vs %d/%d",
+			det.OrdersDelta, det.AuditDelta, fresh.OrdersDelta, fresh.AuditDelta)
+	}
+	if det.TmpResidue || fresh.TmpResidue {
+		t.Error("*.tmp residue visible in a snapshot")
+	}
+	if !strings.Contains(res.Render(), "E17") {
 		t.Error("render missing experiment id")
 	}
 }

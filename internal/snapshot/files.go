@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 
 	"snapdb/internal/engine"
@@ -99,8 +98,24 @@ func (s *Snapshot) WriteDirFS(fs vfs.FS) error {
 // (query logs, buffer pool dump, catalog) are tolerated; the
 // tablespace and logs must exist.
 func ReadDir(dir string) (*Snapshot, error) {
+	if _, err := os.Stat(dir); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	fs, err := vfs.NewOSFS(dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return ReadDirFS(fs)
+}
+
+// ReadDirFS is ReadDir over any vfs.FS — in particular a vfs.CryptFS,
+// which is how a key-holding operator restores an encrypted snapshot
+// directory, and how E17 distinguishes the key-holder's view from the
+// ciphertext-only analyst's (who reads the same files off the inner
+// FS directly).
+func ReadDirFS(fs vfs.FS) (*Snapshot, error) {
 	read := func(name string, required bool) ([]byte, error) {
-		b, err := os.ReadFile(filepath.Join(dir, name))
+		b, err := fs.ReadFile(name)
 		if err != nil {
 			if os.IsNotExist(err) && !required {
 				return nil, nil

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"snapdb/internal/crypto/prim"
 	"snapdb/internal/failpoint"
 	"snapdb/internal/vfs"
 )
@@ -139,5 +140,45 @@ func TestWriteDirFSCrashAtomic(t *testing.T) {
 		if !bytes.Equal(got, tc.old) && !bytes.Equal(got, tc.new) {
 			t.Errorf("%s is neither the old nor the new version after crash", tc.name)
 		}
+	}
+}
+
+// TestEncryptedSnapshotDirRoundTrip writes a snapshot directory through
+// a CryptFS and reads it back two ways: the key-holder (ReadDirFS over
+// the same CryptFS) recovers the full snapshot, while the inner FS —
+// the ciphertext-only analyst's view — holds the same file names and
+// sizes but none of the plaintext. Exactly the split E17 exploits.
+func TestEncryptedSnapshotDirRoundTrip(t *testing.T) {
+	e := loadedEngine(t)
+	snap := Capture(e, DiskTheft)
+	mem := vfs.NewMemFS()
+	cfs, err := vfs.NewCryptFS(mem, prim.TestKey("snapdir"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WriteDirFS(cfs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDirFS(cfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Disk.Tablespace, snap.Disk.Tablespace) ||
+		!bytes.Equal(got.Disk.Binlog, snap.Disk.Binlog) {
+		t.Error("key-holder read back different bytes")
+	}
+	// The analyst's view: same names and sizes, no plaintext.
+	raw, err := mem.ReadFile(FileBinlog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != len(snap.Disk.Binlog) {
+		t.Errorf("ciphertext binlog %d bytes, plaintext %d — size leaks anyway, but must match", len(raw), len(snap.Disk.Binlog))
+	}
+	if len(snap.Disk.Binlog) > 0 && bytes.Contains(raw, []byte("INSERT")) {
+		t.Error("statement text visible in encrypted snapshot dir")
+	}
+	if _, err := ReadDirFS(mem); err == nil {
+		t.Error("ciphertext-only ReadDirFS succeeded — snapshot readable without the key")
 	}
 }

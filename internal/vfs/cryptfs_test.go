@@ -1,0 +1,359 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"snapdb/internal/crypto/prim"
+	"snapdb/internal/failpoint"
+)
+
+func newCrypt(t *testing.T, det bool) (*CryptFS, *MemFS) {
+	t.Helper()
+	mem := NewMemFS()
+	cfs, err := NewCryptFS(mem, prim.TestKey("cryptfs"), det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfs, mem
+}
+
+func writeFile(t *testing.T, fs FS, name string, data []byte) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCryptFSRoundTrip(t *testing.T) {
+	for _, det := range []bool{true, false} {
+		cfs, mem := newCrypt(t, det)
+		// Multi-page content with a non-aligned tail.
+		data := bytes.Repeat([]byte("snapdb-page-content-"), 300) // 6000 bytes
+		writeFile(t, cfs, "redo", data)
+
+		got, err := cfs.ReadFile("redo")
+		if err != nil {
+			t.Fatalf("det=%v: %v", det, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("det=%v: logical read != written data", det)
+		}
+		// The inner (at-rest) bytes are ciphertext of the same length.
+		raw, err := mem.ReadFile("redo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) != len(data) {
+			t.Fatalf("det=%v: ciphertext length %d != plaintext %d", det, len(raw), len(data))
+		}
+		if bytes.Contains(raw, []byte("snapdb-page-content-")) {
+			t.Fatalf("det=%v: plaintext visible at rest", det)
+		}
+		// Positional sub-reads through a fresh handle decrypt too.
+		f, err := cfs.Open("redo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 64)
+		if _, err := f.ReadAt(buf, CryptPageSize-17); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, data[CryptPageSize-17:CryptPageSize-17+64]) {
+			t.Fatalf("det=%v: positional read wrong across page boundary", det)
+		}
+		f.Close()
+	}
+}
+
+// TestCryptFSDeterministicPages pins the leakage property E17 exploits:
+// in deterministic mode, writing the same plaintext page at the same
+// position of the same file yields the same ciphertext — across
+// separate CryptFS instances sharing a key — while fresh-IV mode yields
+// different ciphertext on every write, even of identical plaintext.
+func TestCryptFSDeterministicPages(t *testing.T) {
+	page := bytes.Repeat([]byte{0xA5, 0x5A, 0x01}, CryptPageSize/3+1)[:CryptPageSize]
+
+	cfs1, mem1 := newCrypt(t, true)
+	cfs2, mem2 := newCrypt(t, true)
+	writeFile(t, cfs1, "ibdata", page)
+	writeFile(t, cfs2, "ibdata", page)
+	ct1, _ := mem1.ReadFile("ibdata")
+	ct2, _ := mem2.ReadFile("ibdata")
+	if !bytes.Equal(ct1, ct2) {
+		t.Fatal("deterministic mode: same (key, name, page, plaintext) gave different ciphertext")
+	}
+	// Same plaintext at a different page position must differ.
+	writeFile(t, cfs1, "two", append(append([]byte(nil), page...), page...))
+	ct, _ := mem1.ReadFile("two")
+	if bytes.Equal(ct[:CryptPageSize], ct[CryptPageSize:]) {
+		t.Fatal("deterministic mode: page number does not separate ciphertext")
+	}
+
+	// Fresh-IV: rewriting the identical plaintext re-randomizes.
+	rfs, rmem := newCrypt(t, false)
+	writeFile(t, rfs, "ibdata", page)
+	before, _ := rmem.ReadFile("ibdata")
+	f, err := rfs.Open("ibdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(page, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	after, _ := rmem.ReadFile("ibdata")
+	if bytes.Equal(before, after) {
+		t.Fatal("fresh-IV mode: rewrite of identical plaintext left ciphertext unchanged")
+	}
+	got, err := rfs.ReadFile("ibdata")
+	if err != nil || !bytes.Equal(got, page) {
+		t.Fatalf("fresh-IV mode: content lost across re-encryption: %v", err)
+	}
+}
+
+// TestCryptFSSubPageRewrite exercises read-modify-write in fresh mode
+// and pure positional XOR in det mode: overwriting a small interior
+// range must leave the rest of the page intact.
+func TestCryptFSSubPageRewrite(t *testing.T) {
+	for _, det := range []bool{true, false} {
+		cfs, _ := newCrypt(t, det)
+		data := bytes.Repeat([]byte{0x11}, 2*CryptPageSize+100)
+		writeFile(t, cfs, "ts", data)
+		f, err := cfs.Open("ts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		patch := bytes.Repeat([]byte{0xEE}, 300)
+		// Straddles the page 0 / page 1 boundary.
+		if _, err := f.WriteAt(patch, CryptPageSize-100); err != nil {
+			t.Fatalf("det=%v: %v", det, err)
+		}
+		f.Close()
+		copy(data[CryptPageSize-100:], patch)
+		got, err := cfs.ReadFile("ts")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("det=%v: sub-page rewrite corrupted surrounding bytes", det)
+		}
+	}
+}
+
+// TestCryptFSGapReadsZero pins the File contract that a write past EOF
+// zero-fills the gap: the gap must decrypt to zeros, not keystream.
+func TestCryptFSGapReadsZero(t *testing.T) {
+	for _, det := range []bool{true, false} {
+		cfs, _ := newCrypt(t, det)
+		f, err := cfs.Create("gapped")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte("head"), 0); err != nil {
+			t.Fatal(err)
+		}
+		// Leave a gap spanning a page boundary, then grow via Truncate.
+		if _, err := f.WriteAt([]byte("tail"), CryptPageSize+50); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Truncate(2*CryptPageSize + 10); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		got, err := cfs.ReadFile("gapped")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 2*CryptPageSize+10)
+		copy(want, "head")
+		copy(want[CryptPageSize+50:], "tail")
+		if !bytes.Equal(got, want) {
+			t.Fatalf("det=%v: gap or growth bytes are not zeros after decrypt", det)
+		}
+	}
+}
+
+// TestCryptFSAtomicWriteAndRename checks the WriteFileAtomic pattern:
+// the ".tmp" file is encrypted under its canonical (final) name's
+// tweaks, so the rename needs no re-encryption; arbitrary cross-name
+// renames are refused in deterministic mode.
+func TestCryptFSAtomicWriteAndRename(t *testing.T) {
+	for _, det := range []bool{true, false} {
+		cfs, mem := newCrypt(t, det)
+		content := bytes.Repeat([]byte("checkpoint-meta "), 400)
+		if err := WriteFileAtomic(cfs, "ib_checkpoint", content); err != nil {
+			t.Fatalf("det=%v: %v", det, err)
+		}
+		got, err := cfs.ReadFile("ib_checkpoint")
+		if err != nil || !bytes.Equal(got, content) {
+			t.Fatalf("det=%v: atomic write round trip failed: %v", det, err)
+		}
+		if raw, _ := mem.ReadFile("ib_checkpoint"); bytes.Contains(raw, []byte("checkpoint-meta")) {
+			t.Fatalf("det=%v: plaintext at rest after atomic write", det)
+		}
+		if !det {
+			// Sidecar must have followed the rename.
+			if _, err := mem.ReadFile("ib_checkpoint.iv"); err != nil {
+				t.Fatalf("sidecar missing after rename: %v", err)
+			}
+			if _, err := mem.ReadFile("ib_checkpoint.tmp.iv"); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("tmp sidecar stranded: %v", err)
+			}
+		}
+	}
+	// Cross-domain rename: deterministic mode refuses up front.
+	cfs, _ := newCrypt(t, true)
+	writeFile(t, cfs, "a", []byte("x"))
+	if err := cfs.Rename("a", "b"); !errors.Is(err, ErrCryptRename) {
+		t.Fatalf("cross-domain rename err = %v, want ErrCryptRename", err)
+	}
+	// Fresh mode allows it (tweaks are stored, not name-derived).
+	rfs, _ := newCrypt(t, false)
+	writeFile(t, rfs, "a", []byte("moved content"))
+	if err := rfs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := rfs.ReadFile("b"); err != nil || string(got) != "moved content" {
+		t.Fatalf("fresh-mode rename lost content: %q, %v", got, err)
+	}
+}
+
+// TestCryptFSRemoveCleansSidecar checks Remove drops the fresh-IV
+// sidecar with its file.
+func TestCryptFSRemoveCleansSidecar(t *testing.T) {
+	cfs, mem := newCrypt(t, false)
+	writeFile(t, cfs, "doomed", []byte("bytes"))
+	if _, err := mem.ReadFile("doomed.iv"); err != nil {
+		t.Fatalf("sidecar not created: %v", err)
+	}
+	if err := cfs.Remove("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.ReadFile("doomed.iv"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("sidecar survived remove: %v", err)
+	}
+}
+
+// TestCryptFSReopenSharedKey models restart-after-crash: a second
+// CryptFS instance (same key, fresh state) over the surviving inner
+// bytes must read everything back — in fresh mode via the sidecar file.
+func TestCryptFSReopenSharedKey(t *testing.T) {
+	for _, det := range []bool{true, false} {
+		cfs, mem := newCrypt(t, det)
+		data := bytes.Repeat([]byte("durable "), 1024)
+		f, err := cfs.Create("wal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(data, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if err := cfs.SyncDir(); err != nil {
+			t.Fatal(err)
+		}
+
+		mem.Crash()
+		reopened, err := NewCryptFS(mem, prim.TestKey("cryptfs"), det)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := reopened.ReadFile("wal")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("det=%v: reopen after crash failed: %v", det, err)
+		}
+		// Wrong key must NOT read back plaintext.
+		wrong, err := NewCryptFS(mem, prim.TestKey("not-the-key"), det)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, err := wrong.ReadFile("wal"); err == nil && bytes.Equal(got, data) {
+			t.Fatalf("det=%v: wrong key decrypted the file", det)
+		}
+	}
+}
+
+// TestCryptFSBitFlipMapsOneToOne pins satellite 4's mechanism: a single
+// flipped ciphertext bit decrypts to the same single flipped plaintext
+// bit (positional keystream), so the CRC framing above detects it —
+// never a silently scrambled page. The flip is injected below CryptFS
+// via FaultFS, i.e. on the at-rest bytes.
+func TestCryptFSBitFlipMapsOneToOne(t *testing.T) {
+	mem := NewMemFS()
+	reg := failpoint.New(42)
+	ffs := NewFaultFS(mem, reg)
+	cfs, err := NewCryptFS(ffs, prim.TestKey("cryptfs"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x00}, 4096)
+	reg.Arm("write:frame", failpoint.KindBitFlip, 1)
+	writeFile(t, cfs, "frame", data)
+
+	got, err := cfs.ReadFile("frame")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		for b := got[i] ^ data[i]; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("one ciphertext bit flip decrypted to %d plaintext bit flips, want exactly 1", diff)
+	}
+}
+
+// TestCryptFSTornWriteIsPositional pins the torture-harness-critical
+// property of deterministic mode: a torn write through CryptFS leaves
+// exactly the plaintext prefix a plain FS would — old acked bytes
+// outside the torn range are untouched.
+func TestCryptFSTornWriteIsPositional(t *testing.T) {
+	mem := NewMemFS()
+	reg := failpoint.New(7)
+	ffs := NewFaultFS(mem, reg)
+	cfs, err := NewCryptFS(ffs, prim.TestKey("cryptfs"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := bytes.Repeat([]byte{0xAA}, 1000)
+	writeFile(t, cfs, "redo", old)
+
+	f, err := cfs.Open("redo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Arm("write:redo", failpoint.KindTorn, 1)
+	next := bytes.Repeat([]byte{0xBB}, 1000)
+	if _, err := f.WriteAt(next, 0); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	f.Close()
+
+	got, err := cfs.ReadFile("redo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some prefix is new, the rest must still be the OLD plaintext —
+	// not garbage, which a page-granular RMW cipher would produce.
+	n := 0
+	for n < len(got) && got[n] == 0xBB {
+		n++
+	}
+	for i := n; i < len(got); i++ {
+		if got[i] != 0xAA {
+			t.Fatalf("byte %d after torn prefix of %d is %#x, want old 0xAA", i, n, got[i])
+		}
+	}
+}

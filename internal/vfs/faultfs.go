@@ -45,8 +45,12 @@ func (fs *FaultFS) check(point string) error {
 	return nil
 }
 
-// Create implements FS.
+// Create implements FS. Bad names are rejected before failpoint
+// evaluation, so they never consume a scheduled fault hit.
 func (fs *FaultFS) Create(name string) (File, error) {
+	if err := CheckName(name); err != nil {
+		return nil, err
+	}
 	if err := fs.check("create:" + name); err != nil {
 		return nil, err
 	}
@@ -59,6 +63,9 @@ func (fs *FaultFS) Create(name string) (File, error) {
 
 // Open implements FS.
 func (fs *FaultFS) Open(name string) (File, error) {
+	if err := CheckName(name); err != nil {
+		return nil, err
+	}
 	if err := fs.check("open:" + name); err != nil {
 		return nil, err
 	}
@@ -71,6 +78,9 @@ func (fs *FaultFS) Open(name string) (File, error) {
 
 // ReadFile implements FS. Reads are not faulted.
 func (fs *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := CheckName(name); err != nil {
+		return nil, err
+	}
 	if fs.reg.Crashed() {
 		return nil, failpoint.ErrCrashed
 	}
@@ -79,6 +89,12 @@ func (fs *FaultFS) ReadFile(name string) ([]byte, error) {
 
 // Rename implements FS.
 func (fs *FaultFS) Rename(oldname, newname string) error {
+	if err := CheckName(oldname); err != nil {
+		return err
+	}
+	if err := CheckName(newname); err != nil {
+		return err
+	}
 	if err := fs.check("rename:" + oldname); err != nil {
 		return err
 	}
@@ -87,6 +103,9 @@ func (fs *FaultFS) Rename(oldname, newname string) error {
 
 // Remove implements FS.
 func (fs *FaultFS) Remove(name string) error {
+	if err := CheckName(name); err != nil {
+		return err
+	}
 	if err := fs.check("remove:" + name); err != nil {
 		return err
 	}

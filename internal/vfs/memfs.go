@@ -41,6 +41,9 @@ func NewMemFS() *MemFS {
 // Create implements FS. Creating over an existing name truncates it in
 // the volatile view; the old content stays durable until Sync.
 func (fs *MemFS) Create(name string) (File, error) {
+	if err := CheckName(name); err != nil {
+		return nil, err
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if f, ok := fs.vol[name]; ok {
@@ -54,6 +57,9 @@ func (fs *MemFS) Create(name string) (File, error) {
 
 // Open implements FS.
 func (fs *MemFS) Open(name string) (File, error) {
+	if err := CheckName(name); err != nil {
+		return nil, err
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	f, ok := fs.vol[name]
@@ -65,6 +71,9 @@ func (fs *MemFS) Open(name string) (File, error) {
 
 // ReadFile implements FS.
 func (fs *MemFS) ReadFile(name string) ([]byte, error) {
+	if err := CheckName(name); err != nil {
+		return nil, err
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	f, ok := fs.vol[name]
@@ -79,6 +88,12 @@ func (fs *MemFS) ReadFile(name string) ([]byte, error) {
 // Rename implements FS. The volatile namespace changes immediately; the
 // durable namespace only at SyncDir.
 func (fs *MemFS) Rename(oldname, newname string) error {
+	if err := CheckName(oldname); err != nil {
+		return err
+	}
+	if err := CheckName(newname); err != nil {
+		return err
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	f, ok := fs.vol[oldname]
@@ -96,6 +111,9 @@ func (fs *MemFS) Rename(oldname, newname string) error {
 
 // Remove implements FS.
 func (fs *MemFS) Remove(name string) error {
+	if err := CheckName(name); err != nil {
+		return err
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	f, ok := fs.vol[name]

@@ -18,10 +18,12 @@
 package vfs
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // File is one open file.
@@ -39,6 +41,24 @@ type File interface {
 	Sync() error
 	// Truncate resizes the file.
 	Truncate(size int64) error
+}
+
+// ErrBadName reports a file name that is not a plain flat name: empty,
+// a dot entry, or containing a path separator. The FS namespace is
+// deliberately flat; before this check, OSFS silently collapsed any
+// separator-bearing name to its base (filepath.Base), so two distinct
+// logical names like "a/log" and "b/log" could alias one on-disk file.
+// All implementations now reject such names up front with this error.
+var ErrBadName = errors.New("vfs: name must be a flat file name without separators")
+
+// CheckName validates name against the flat-namespace contract shared
+// by every FS implementation.
+func CheckName(name string) error {
+	if name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, `/\`) || strings.ContainsRune(name, os.PathSeparator) {
+		return fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	return nil
 }
 
 // FS is a flat filesystem rooted at one directory.
@@ -63,6 +83,14 @@ type FS interface {
 // WriteFileAtomic writes data under name crash-atomically: write to a
 // temp file, sync it, rename it over name, sync the directory. After a
 // crash the file holds either the old content or the new, never a mix.
+//
+// A failure between Create and Rename removes the temp file
+// (best-effort): a stale *.tmp is not just clutter, it is a forensic
+// surface — the full intended content of the next checkpoint or
+// snapshot file, sitting beside the real one under a name no reader
+// ever validates (E17 notes the at-rest-encryption variant of this
+// residue). A crash can of course still strand one; crash recovery
+// paths tolerate and overwrite it on the next write.
 func WriteFileAtomic(fs FS, name string, data []byte) error {
 	tmp := name + ".tmp"
 	f, err := fs.Create(tmp)
@@ -71,16 +99,20 @@ func WriteFileAtomic(fs FS, name string, data []byte) error {
 	}
 	if _, err := f.WriteAt(data, 0); err != nil {
 		_ = f.Close()
+		_ = fs.Remove(tmp)
 		return fmt.Errorf("vfs: write %s: %w", tmp, err)
 	}
 	if err := f.Sync(); err != nil {
 		_ = f.Close()
+		_ = fs.Remove(tmp)
 		return fmt.Errorf("vfs: sync %s: %w", tmp, err)
 	}
 	if err := f.Close(); err != nil {
+		_ = fs.Remove(tmp)
 		return fmt.Errorf("vfs: close %s: %w", tmp, err)
 	}
 	if err := fs.Rename(tmp, name); err != nil {
+		_ = fs.Remove(tmp)
 		return fmt.Errorf("vfs: rename %s -> %s: %w", tmp, name, err)
 	}
 	if err := fs.SyncDir(); err != nil {
@@ -106,10 +138,16 @@ func NewOSFS(dir string) (*OSFS, error) {
 // Dir returns the root directory.
 func (fs *OSFS) Dir() string { return fs.dir }
 
-func (fs *OSFS) path(name string) string { return filepath.Join(fs.dir, filepath.Base(name)) }
+// path maps a validated flat name into the root directory. Callers
+// must CheckName first: the old filepath.Base mapping here silently
+// flattened "a/log" and "b/log" onto one file.
+func (fs *OSFS) path(name string) string { return filepath.Join(fs.dir, name) }
 
 // Create implements FS.
 func (fs *OSFS) Create(name string) (File, error) {
+	if err := CheckName(name); err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(fs.path(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
@@ -119,6 +157,9 @@ func (fs *OSFS) Create(name string) (File, error) {
 
 // Open implements FS.
 func (fs *OSFS) Open(name string) (File, error) {
+	if err := CheckName(name); err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(fs.path(name), os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
@@ -128,16 +169,30 @@ func (fs *OSFS) Open(name string) (File, error) {
 
 // ReadFile implements FS.
 func (fs *OSFS) ReadFile(name string) ([]byte, error) {
+	if err := CheckName(name); err != nil {
+		return nil, err
+	}
 	return os.ReadFile(fs.path(name))
 }
 
 // Rename implements FS.
 func (fs *OSFS) Rename(oldname, newname string) error {
+	if err := CheckName(oldname); err != nil {
+		return err
+	}
+	if err := CheckName(newname); err != nil {
+		return err
+	}
 	return os.Rename(fs.path(oldname), fs.path(newname))
 }
 
 // Remove implements FS.
-func (fs *OSFS) Remove(name string) error { return os.Remove(fs.path(name)) }
+func (fs *OSFS) Remove(name string) error {
+	if err := CheckName(name); err != nil {
+		return err
+	}
+	return os.Remove(fs.path(name))
+}
 
 // SyncDir implements FS: fsync on the directory makes renames durable.
 func (fs *OSFS) SyncDir() error {

@@ -40,7 +40,7 @@ echo "== bench smoke =="
 # benchmark that no longer compiles or errors at runtime (timing is
 # meaningless at -benchtime 1x; scripts/benchdiff.sh does the timing
 # comparison against the committed baseline).
-go test -run '^$' -bench 'PlanCache|BatchedThroughput|SortedRead|ParallelScan|CostedPlanning|MVCCReadersVsWriter' -benchtime 1x .
+go test -run '^$' -bench 'PlanCache|BatchedThroughput|SortedRead|ParallelScan|CostedPlanning|MVCCReadersVsWriter|EncryptAtRest' -benchtime 1x .
 go test -run '^$' -bench 'TopN' -benchtime 1x ./internal/engine/exec
 
 echo "== fuzz smoke =="
@@ -60,6 +60,18 @@ fuzz ./internal/client FuzzDecodeValue
 echo "== crash torture seed matrix (-race) =="
 SNAPDB_TORTURE_SEEDS="${SNAPDB_TORTURE_SEEDS:-1,7,42}" \
     go test -race ./internal/engine -run 'TestCrashTorture' -count=1 -v | grep -E 'kill-points|--- (PASS|FAIL)'
+
+echo "== encryption-at-rest smoke (-race) =="
+# CryptFS stacked over the fault injector: the differential proves the
+# crypto layer is observably transparent (same results, binlog, frames
+# byte-for-byte after decrypt), the torture subset proves crash
+# recovery through a fresh CryptFS lands on the reference digests, the
+# bit-flip pass proves at-rest corruption surfaces as detected CRC
+# truncation after decrypt, and E17 replays the multi-snapshot diff
+# attack plus its fresh-IV ablation.
+go test -race ./internal/engine -run 'TestDifferentialCryptVsPlain|TestCrashTortureEncrypted|TestCrashTortureBitFlipsEncrypted|TestRecoverEncryptedWrongKey' -count=1
+go test -race ./internal/experiments -run 'TestE17SnapshotDiff' -count=1
+go test -race ./internal/vfs -run 'TestCryptFS|TestFS|TestOSFS|TestWriteFileAtomic' -count=1
 
 echo "== MVCC differential (-race) =="
 # Snapshot reads vs stripe locking must be byte-identical on
